@@ -1,0 +1,44 @@
+"""Ablation — scheduling window length versus outcome quality.
+
+The paper batches "all requests within a cyclic time window"; window
+length is the knob it never sweeps.  Short windows mean small batches
+(less packing context per optimization, more optimizer invocations);
+long windows batch more requests per solve.  This bench runs the same
+arrival stream through the scheduler at several window lengths and
+reports acceptance and total provider cost.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scenario_for
+from repro.baselines import BestFitAllocator
+from repro.scheduler import TimeWindowScheduler
+
+WINDOWS = [0.5, 1.0, 2.0, 4.0]
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_ablation_window_length(benchmark, window):
+    scenario = scenario_for(24, 72, seed=10, tightness=0.6)
+    rng = np.random.default_rng(0)
+    arrivals = rng.uniform(0.0, 8.0, size=scenario.n_requests)
+
+    def run():
+        scheduler = TimeWindowScheduler(
+            scenario.infrastructure, BestFitAllocator(), window_length=window
+        )
+        for i, request in enumerate(scenario.requests):
+            scheduler.submit(f"r{i}", request, at=float(arrivals[i]))
+        return scheduler.run(max_windows=64), scheduler
+
+    (reports, scheduler) = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    accepted = sum(len(r.accepted) for r in reports)
+    rejected = sum(len(r.rejected) for r in reports)
+    benchmark.extra_info["windows_processed"] = len(reports)
+    benchmark.extra_info["accepted"] = accepted
+    benchmark.extra_info["rejected"] = rejected
+    scheduler.state.verify_consistency()
+    assert accepted + rejected == scenario.n_requests

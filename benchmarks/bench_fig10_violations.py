@@ -1,0 +1,58 @@
+"""Figure 10 — violated constraints versus problem size.
+
+Paper claim: "Figure 10 shows only two types of bars because there are
+only two algorithms (NSGA-II & NSGA-III) that generate constraint
+violations" — every other method either satisfies or rejects.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_algorithms, scenario_for
+from repro.evaluation import ExperimentRunner, format_series_table
+from repro.workloads import ScenarioSpec
+
+SIZES = [(16, 32), (32, 64), (64, 128)]
+
+
+@pytest.mark.parametrize("servers,vms", SIZES, ids=[f"{s}x{v}" for s, v in SIZES])
+@pytest.mark.parametrize("algo", sorted(paper_algorithms()))
+def test_fig10_violations(benchmark, algo, servers, vms):
+    scenario = scenario_for(servers, vms, seed=4, tightness=0.7)
+    factory = paper_algorithms()[algo]
+
+    def run():
+        return factory().allocate(scenario.infrastructure, scenario.requests)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["violations"] = outcome.violations
+    if algo in ("round_robin", "constraint_programming"):
+        assert outcome.violations == 0
+
+
+def test_fig10_series_report(benchmark, capsys):
+    """Print the Figure 10 series and assert the two-bars shape."""
+    factories = {
+        k: v for k, v in paper_algorithms().items() if k != "nsga3_cp"
+    }
+    runner = ExperimentRunner(factories, runs=2, seed=4)
+    specs = [
+        ScenarioSpec(servers=s, datacenters=2, vms=v, tightness=0.7)
+        for s, v in SIZES[:2]
+    ]
+    result = benchmark.pedantic(
+        lambda: runner.run_sweep(specs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    table = format_series_table(
+        result, "violations", title="Figure 10: violated constraints vs size"
+    )
+    with capsys.disabled():
+        print("\n" + table)
+    series = result.series("violations")
+    # Non-EA methods and the repaired hybrids never violate.
+    for algo in ("round_robin", "constraint_programming"):
+        assert all(v == 0 for v in series[algo]), algo
+    # The unmodified EAs are the violating bars.
+    assert any(v > 0 for v in series["nsga2"])
+    assert any(v > 0 for v in series["nsga3"])
+    # The tabu hybrid stays (near) zero.
+    assert all(v <= 0.5 for v in series["nsga3_tabu"])

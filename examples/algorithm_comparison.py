@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare all six Section IV algorithms on one random scenario.
+
+Reproduces the paper's headline comparison in miniature: execution
+time, rejection rate, violated constraints and provider cost for Round
+Robin, Constraint Programming, unmodified NSGA-II/III, NSGA-III + CP
+repair and NSGA-III + tabu repair — on a single generated window.
+
+Run:  python examples/algorithm_comparison.py [seed]
+"""
+
+import sys
+
+from repro import (
+    CPAllocator,
+    NSGA2Allocator,
+    NSGA3Allocator,
+    NSGA3CPAllocator,
+    NSGA3TabuAllocator,
+    NSGAConfig,
+    RoundRobinAllocator,
+    ScenarioGenerator,
+    ScenarioSpec,
+    SearchLimits,
+)
+from repro.evaluation import format_table
+
+
+def main(seed: int = 7) -> None:
+    spec = ScenarioSpec(
+        servers=32,
+        datacenters=2,
+        vms=64,
+        tightness=0.68,
+        affinity_probability=0.7,
+    )
+    scenario = ScenarioGenerator(spec, seed=seed).generate()
+    print(
+        f"scenario: {spec.servers} servers / {spec.vms} VMs / "
+        f"{scenario.n_requests} requests / "
+        f"{sum(len(r.groups) for r in scenario.requests)} placement rules"
+    )
+
+    config = NSGAConfig(population_size=40, max_evaluations=2000, seed=seed)
+    allocators = [
+        RoundRobinAllocator(),
+        CPAllocator(optimize=False, limits=SearchLimits(max_nodes=50_000, time_limit=5)),
+        NSGA2Allocator(config),
+        NSGA3Allocator(config),
+        NSGA3CPAllocator(
+            config, repair_limits=SearchLimits(max_nodes=500, time_limit=0.1)
+        ),
+        NSGA3TabuAllocator(config),
+    ]
+
+    rows = []
+    for allocator in allocators:
+        outcome = allocator.allocate(scenario.infrastructure, scenario.requests)
+        rows.append(
+            [
+                outcome.algorithm,
+                f"{outcome.elapsed:.3f}",
+                f"{outcome.rejection_rate:.2f}",
+                outcome.violations,
+                f"{outcome.provider_cost:.1f}",
+                f"{outcome.objectives[1]:.2f}",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "algorithm",
+                "time (s)",
+                "rejection",
+                "violations",
+                "provider cost",
+                "downtime cost",
+            ],
+            rows,
+            title="Section IV comparison (one scenario)",
+        )
+    )
+    print(
+        "\nExpected shape (paper Figs. 7-11): greedy/CP fastest; unmodified"
+        "\nNSGA-II/III violate constraints; nsga3_tabu accepts the most with"
+        "\nzero violations at a cost comparable to constraint programming."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

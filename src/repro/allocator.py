@@ -1,0 +1,212 @@
+"""Uniform allocator interface and outcome records.
+
+Section IV compares six very different algorithms on four shared
+criteria: execution time, rejection rate, violated constraints and
+provider cost.  That only works if every algorithm reports through the
+same lens; :class:`Allocator` is that lens.
+
+An allocator receives a *batch* of consumer requests (the paper's
+cyclic time window collects "all requests within a cyclic time
+window"), the provider infrastructure, committed usage from earlier
+windows and, for reconfiguration runs, the previous assignment.  It
+returns a :class:`BatchOutcome`: the merged placement, which requests
+were rejected, the violation breakdown and the objective values of the
+final allocation.
+
+Rejection semantics (Figure 9): a request is **rejected** when, in the
+returned allocation, any of its resources is unplaced, sits on a
+server whose capacity is exceeded, or belongs to a violated
+affinity/anti-affinity group.  Greedy algorithms reject by leaving
+resources unplaced; unmodified evolutionary algorithms "reject" by
+emitting violating placements — the same counter captures both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.registry import ConstraintSet
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.objectives.evaluator import PopulationEvaluator
+from repro.types import AlgorithmKind, BoolArray, FloatArray, IntArray
+
+__all__ = ["BatchOutcome", "Allocator", "per_request_rejections"]
+
+
+def per_request_rejections(
+    assignment: IntArray,
+    merged: Request,
+    owner: IntArray,
+    constraints: ConstraintSet,
+) -> BoolArray:
+    """Rejected-request mask for a merged batch.
+
+    Parameters
+    ----------
+    assignment:
+        Flat genome over the merged request (UNPLACED allowed).
+    merged:
+        The merged request (resources of all batch members).
+    owner:
+        (n,) map from merged resource index to batch request index.
+    constraints:
+        The merged instance's constraint set.
+
+    Returns
+    -------
+    Boolean vector over batch requests; True = rejected.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    owner = np.asarray(owner, dtype=np.int64)
+    n_requests = int(owner.max()) + 1 if owner.size else 0
+    rejected = np.zeros(n_requests, dtype=bool)
+
+    # Unplaced resources reject their request.
+    unplaced = assignment == UNPLACED
+    if unplaced.any():
+        rejected[np.unique(owner[unplaced])] = True
+
+    # Resources on overloaded servers reject their request.
+    offenders = constraints.capacity.overloaded_servers(assignment)
+    if offenders.size:
+        affected = np.isin(assignment, offenders)
+        if affected.any():
+            rejected[np.unique(owner[affected])] = True
+
+    # Violated groups reject the request owning the group.
+    for gi, group in enumerate(merged.groups):
+        constraint = constraints.group_constraints[gi]
+        if constraint.violations(assignment) > 0:
+            rejected[owner[group.members[0]]] = True
+    return rejected
+
+
+@dataclass
+class BatchOutcome:
+    """What one algorithm did with one window of requests.
+
+    Attributes
+    ----------
+    algorithm:
+        Label used in figures ("nsga3_tabu", "round_robin", ...).
+    assignment:
+        Flat genome over the merged request (UNPLACED where rejected).
+    accepted:
+        Per-batch-request acceptance mask.
+    violations:
+        Total constraint violations of the returned allocation.
+    violation_breakdown:
+        Violations keyed by constraint name.
+    objectives:
+        (3,) objective vector of the returned allocation (Eq. 22/23/26).
+    elapsed:
+        Wall-clock seconds the algorithm spent.
+    evaluations:
+        Objective evaluations consumed (0 for non-EA algorithms).
+    extra:
+        Algorithm-specific diagnostics (CP node counts, repair moves...).
+    """
+
+    algorithm: str
+    assignment: IntArray
+    accepted: BoolArray
+    violations: int
+    violation_breakdown: dict[str, int]
+    objectives: FloatArray
+    elapsed: float
+    evaluations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def n_requests(self) -> int:
+        """Batch size."""
+        return int(self.accepted.shape[0])
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of batch requests rejected (Figure 9's y-axis)."""
+        if self.accepted.size == 0:
+            return 0.0
+        return float(1.0 - self.accepted.mean())
+
+    @property
+    def provider_cost(self) -> float:
+        """Usage + operating cost of the allocation (Figure 11's y-axis)."""
+        return float(self.objectives[0])
+
+
+class Allocator(abc.ABC):
+    """Base class every compared algorithm implements."""
+
+    #: Label used in reports and figures.
+    name: str = "allocator"
+    #: Which of the paper's algorithm families this is.
+    kind: AlgorithmKind | None = None
+
+    @abc.abstractmethod
+    def allocate(
+        self,
+        infrastructure: Infrastructure,
+        requests: Sequence[Request],
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+    ) -> BatchOutcome:
+        """Place one window of requests and report uniformly."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for implementations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merge_requests(requests: Sequence[Request]) -> tuple[Request, IntArray]:
+        """Concatenate the window into one instance + ownership map."""
+        return Request.concatenate(list(requests))
+
+    def finalize(
+        self,
+        infrastructure: Infrastructure,
+        merged: Request,
+        owner: IntArray,
+        assignment: IntArray,
+        elapsed: float,
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+        evaluations: int = 0,
+        extra: dict | None = None,
+    ) -> BatchOutcome:
+        """Uniform post-processing: violations, objectives, rejections."""
+        evaluator = PopulationEvaluator(
+            infrastructure,
+            merged,
+            base_usage=base_usage,
+            previous_assignment=previous_assignment,
+            include_assignment_constraint=True,
+        )
+        assignment = np.asarray(assignment, dtype=np.int64)
+        objectives = evaluator.evaluate(assignment).as_array()
+        breakdown = evaluator.constraints.breakdown(assignment)
+        # Unplaced resources are *rejections* (Figure 9), not violated
+        # constraints (Figure 10): a greedy/CP algorithm that declines a
+        # request it cannot satisfy has violated nothing.
+        unplaced = breakdown.pop("assignment", 0)
+        breakdown["unplaced"] = unplaced
+        violations = int(sum(v for k, v in breakdown.items() if k != "unplaced"))
+        accepted = ~per_request_rejections(
+            assignment, merged, owner, evaluator.constraints
+        )
+        return BatchOutcome(
+            algorithm=self.name,
+            assignment=assignment,
+            accepted=accepted,
+            violations=violations,
+            violation_breakdown=breakdown,
+            objectives=objectives,
+            elapsed=float(elapsed),
+            evaluations=int(evaluations),
+            extra=extra or {},
+        )

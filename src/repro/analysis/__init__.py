@@ -1,0 +1,25 @@
+"""Placement-quality analytics.
+
+Post-hoc views of an allocation that the four paper metrics do not
+show: how evenly load spreads across datacenters, how much free
+capacity is stranded in unusable fragments, and how much QoS headroom
+each server retains before its Eq. 24 knee.  Operators use these to
+*explain* an optimizer's choice; tests use them to assert qualitative
+behaviour (best-fit fragments less, worst-fit balances more).
+"""
+
+from repro.analysis.placement_quality import (
+    PlacementReport,
+    datacenter_utilization,
+    fragmentation,
+    placement_report,
+    qos_headroom,
+)
+
+__all__ = [
+    "PlacementReport",
+    "datacenter_utilization",
+    "fragmentation",
+    "qos_headroom",
+    "placement_report",
+]

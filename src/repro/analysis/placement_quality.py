@@ -1,0 +1,148 @@
+"""Quality metrics over one placement.
+
+All functions take the flat genome plus the instance matrices, and are
+deliberately cheap (one scatter-add) so they can run per window inside
+a live scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.objectives.qos import loads_from_usage
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "datacenter_utilization",
+    "fragmentation",
+    "qos_headroom",
+    "PlacementReport",
+    "placement_report",
+]
+
+
+def _usage(
+    assignment: IntArray, infrastructure: Infrastructure, demand: FloatArray
+) -> FloatArray:
+    assignment = np.asarray(assignment, dtype=np.int64)
+    demand = np.asarray(demand, dtype=np.float64)
+    if demand.shape[0] != assignment.shape[0]:
+        raise DimensionError(
+            f"demand rows {demand.shape[0]} != genome length {assignment.shape[0]}"
+        )
+    usage = np.zeros((infrastructure.m, infrastructure.h))
+    mask = assignment != UNPLACED
+    np.add.at(usage, assignment[mask], demand[mask])
+    return usage
+
+
+def datacenter_utilization(
+    assignment: IntArray,
+    infrastructure: Infrastructure,
+    demand: FloatArray,
+) -> tuple[FloatArray, float]:
+    """Per-datacenter utilization and the imbalance coefficient.
+
+    Returns
+    -------
+    utilization:
+        (g, h) matrix — placed demand over effective capacity per
+        datacenter and attribute.
+    imbalance:
+        Max-over-attributes of (max_dc - min_dc) utilization; 0 is a
+        perfectly balanced estate.
+    """
+    usage = _usage(assignment, infrastructure, demand)
+    g = infrastructure.g
+    dc_usage = np.zeros((g, infrastructure.h))
+    dc_capacity = np.zeros((g, infrastructure.h))
+    np.add.at(dc_usage, infrastructure.server_datacenter, usage)
+    np.add.at(
+        dc_capacity,
+        infrastructure.server_datacenter,
+        infrastructure.effective_capacity,
+    )
+    safe = np.where(dc_capacity > 0, dc_capacity, 1.0)
+    utilization = dc_usage / safe
+    imbalance = float((utilization.max(axis=0) - utilization.min(axis=0)).max())
+    return utilization, imbalance
+
+
+def fragmentation(
+    assignment: IntArray,
+    infrastructure: Infrastructure,
+    demand: FloatArray,
+    reference_demand: FloatArray | None = None,
+) -> float:
+    """Stranded-capacity fraction.
+
+    Free capacity on a server is *stranded* when the server cannot fit
+    one more ``reference_demand`` VM (default: the mean demand row):
+    individually too small to be useful, collectively it looks like
+    room.  Returns stranded free capacity / total free capacity, in
+    [0, 1]; 0 means every free chunk is still usable.
+    """
+    demand = np.asarray(demand, dtype=np.float64)
+    usage = _usage(assignment, infrastructure, demand)
+    free = np.maximum(0.0, infrastructure.effective_capacity - usage)
+    if reference_demand is None:
+        reference_demand = demand.mean(axis=0)
+    reference_demand = np.asarray(reference_demand, dtype=np.float64)
+    fits = np.all(free >= reference_demand[None, :], axis=1)
+    total_free = free.sum()
+    if total_free <= 0:
+        return 0.0
+    stranded = free[~fits].sum()
+    return float(stranded / total_free)
+
+
+def qos_headroom(
+    assignment: IntArray,
+    infrastructure: Infrastructure,
+    request: Request,
+) -> FloatArray:
+    """Per-server distance to the QoS knee: ``LM - L`` (min over
+    attributes).  Negative values mean the server already operates in
+    the degradation regime of Eq. 24."""
+    usage = _usage(assignment, infrastructure, request.demand)
+    load = loads_from_usage(usage, infrastructure.capacity)
+    return (infrastructure.max_load - load).min(axis=1)
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Bundle of the quality metrics for one placement."""
+
+    datacenter_utilization: FloatArray
+    imbalance: float
+    fragmentation: float
+    min_qos_headroom: float
+    servers_past_knee: int
+    unplaced: int
+
+
+def placement_report(
+    assignment: IntArray,
+    infrastructure: Infrastructure,
+    request: Request,
+) -> PlacementReport:
+    """Compute every quality metric at once."""
+    assignment = np.asarray(assignment, dtype=np.int64)
+    utilization, imbalance = datacenter_utilization(
+        assignment, infrastructure, request.demand
+    )
+    headroom = qos_headroom(assignment, infrastructure, request)
+    return PlacementReport(
+        datacenter_utilization=utilization,
+        imbalance=imbalance,
+        fragmentation=fragmentation(assignment, infrastructure, request.demand),
+        min_qos_headroom=float(headroom.min()),
+        servers_past_knee=int(np.count_nonzero(headroom < 0)),
+        unplaced=int(np.count_nonzero(assignment == UNPLACED)),
+    )

@@ -1,0 +1,308 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro compare  --servers 32 --vms 64 --seed 7
+    python -m repro fig7     --runs 2
+    python -m repro fig9     --runs 2 --tightness 0.7
+    python -m repro fig10
+    python -m repro fig11
+    python -m repro table2
+    python -m repro table3
+    python -m repro generate --servers 40 --vms 80 --out scenario.json
+
+Every figure command prints the corresponding series as a text table
+(sizes down the rows, algorithms across the columns).  Budgets are the
+bench defaults — reduced from the paper's Table III so a figure
+regenerates in seconds-to-minutes; pass ``--population/--evaluations``
+to raise them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro import (
+    CPAllocator,
+    NSGA2Allocator,
+    NSGA3Allocator,
+    NSGA3CPAllocator,
+    NSGA3TabuAllocator,
+    NSGAConfig,
+    RoundRobinAllocator,
+    ScenarioGenerator,
+    ScenarioSpec,
+    SearchLimits,
+)
+from repro.evaluation import (
+    ExperimentRunner,
+    TABLE2_CRITERIA,
+    capability_matrix,
+    format_series_table,
+    format_table,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _factories(args, include_cp_hybrid: bool = False) -> dict[str, Callable]:
+    config = NSGAConfig(
+        population_size=args.population,
+        max_evaluations=args.evaluations,
+        seed=args.seed,
+    )
+    factories: dict[str, Callable] = {
+        "round_robin": lambda: RoundRobinAllocator(),
+        "constraint_programming": lambda: CPAllocator(
+            optimize=False, limits=SearchLimits(max_nodes=50_000, time_limit=5.0)
+        ),
+        "nsga2": lambda: NSGA2Allocator(config),
+        "nsga3": lambda: NSGA3Allocator(config),
+        "nsga3_tabu": lambda: NSGA3TabuAllocator(config),
+    }
+    if include_cp_hybrid:
+        factories["nsga3_cp"] = lambda: NSGA3CPAllocator(
+            config, repair_limits=SearchLimits(max_nodes=500, time_limit=0.1)
+        )
+    return factories
+
+
+def _sweep_specs(sizes: list[tuple[int, int]], tightness: float) -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            servers=servers,
+            datacenters=2 if servers < 100 else 4,
+            vms=vms,
+            tightness=tightness,
+        )
+        for servers, vms in sizes
+    ]
+
+
+def _run_figure(args, sizes, metric: str, title: str) -> int:
+    runner = ExperimentRunner(
+        _factories(args, include_cp_hybrid=args.include_cp_hybrid),
+        runs=args.runs,
+        seed=args.seed,
+    )
+    result = runner.run_sweep(_sweep_specs(sizes, args.tightness))
+    print(format_series_table(result, metric, title=title))
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    return _run_figure(
+        args,
+        [(10, 20), (20, 40), (40, 80)],
+        "execution_time",
+        "Figure 7: mean execution time (s), few resources",
+    )
+
+
+def cmd_fig8(args) -> int:
+    sizes = [(100, 200), (200, 400)]
+    if args.full:
+        sizes += [(400, 800), (800, 1600)]
+    return _run_figure(
+        args,
+        sizes,
+        "execution_time",
+        "Figure 8: mean execution time (s), many resources",
+    )
+
+
+def cmd_fig9(args) -> int:
+    return _run_figure(
+        args,
+        [(16, 32), (32, 64), (64, 128)],
+        "rejection_rate",
+        "Figure 9: mean rejection rate vs size",
+    )
+
+
+def cmd_fig10(args) -> int:
+    return _run_figure(
+        args,
+        [(16, 32), (32, 64), (64, 128)],
+        "violations",
+        "Figure 10: mean violated constraints vs size",
+    )
+
+
+def cmd_fig11(args) -> int:
+    runner = ExperimentRunner(
+        _factories(args, include_cp_hybrid=args.include_cp_hybrid),
+        runs=args.runs,
+        seed=args.seed,
+    )
+    result = runner.run_sweep(_sweep_specs([(16, 32), (32, 64)], args.tightness))
+    print(
+        format_series_table(
+            result, "provider_cost", title="Figure 11: mean provider cost"
+        )
+    )
+    print()
+    print(
+        format_series_table(
+            result,
+            "cost_per_request",
+            title="Figure 11 (future-work metric): cost per accepted request",
+        )
+    )
+    return 0
+
+
+def cmd_table2(args) -> int:
+    rows = capability_matrix(
+        _factories(args, include_cp_hybrid=True), seed=args.seed, runs=args.runs
+    )
+    headers = ["criterion", *(r.algorithm for r in rows)]
+    body = [
+        [criterion, *(getattr(r, criterion) for r in rows)]
+        for criterion in TABLE2_CRITERIA
+    ]
+    print(format_table(headers, body, title="Table II (measured)"))
+    return 0
+
+
+def cmd_table3(args) -> int:
+    config = NSGAConfig()
+    rows = [
+        ["populationSize", config.population_size],
+        ["Number of evaluations", config.max_evaluations],
+        ["sbx.rate", config.sbx_rate],
+        ["sbx.distributionIndex", config.sbx_distribution_index],
+        ["pm.rate", config.pm_rate],
+        ["pm.distributionIndex", config.pm_distribution_index],
+    ]
+    print(format_table(["parameter", "value"], rows, title="Table III (defaults)"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    spec = ScenarioSpec(
+        servers=args.servers,
+        datacenters=2 if args.servers < 100 else 4,
+        vms=args.vms,
+        tightness=args.tightness,
+    )
+    scenario = ScenarioGenerator(spec, seed=args.seed).generate()
+    rows = []
+    for label, factory in _factories(args, include_cp_hybrid=True).items():
+        outcome = factory().allocate(scenario.infrastructure, scenario.requests)
+        rows.append(
+            [
+                label,
+                f"{outcome.elapsed:.3f}",
+                f"{outcome.rejection_rate:.2f}",
+                outcome.violations,
+                f"{outcome.provider_cost:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "time (s)", "rejection", "violations", "provider cost"],
+            rows,
+            title=(
+                f"Comparison on {spec.servers} servers / {spec.vms} VMs "
+                f"(seed {args.seed})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.model import Request, diagnose_instance
+    from repro.serialization import load_json, scenario_from_dict
+
+    scenario = scenario_from_dict(load_json(args.scenario))
+    merged, _owner = Request.concatenate(scenario.requests)
+    findings = diagnose_instance(scenario.infrastructure, merged)
+    print(
+        f"{scenario.infrastructure.m} servers / {scenario.n_vms} VMs / "
+        f"{scenario.n_requests} requests"
+    )
+    if not findings:
+        print("no provable infeasibility found (solvers may still reject)")
+        return 0
+    for finding in findings:
+        print(f"  [{finding.code}] {finding.message}")
+    return 1
+
+
+def cmd_generate(args) -> int:
+    from repro.serialization import save_json, scenario_to_dict
+
+    spec = ScenarioSpec(
+        servers=args.servers,
+        datacenters=2 if args.servers < 100 else 4,
+        vms=args.vms,
+        tightness=args.tightness,
+    )
+    scenario = ScenarioGenerator(spec, seed=args.seed).generate()
+    path = save_json(scenario_to_dict(scenario), args.out)
+    print(
+        f"wrote {path} ({scenario.n_requests} requests, "
+        f"{scenario.n_vms} VMs on {spec.servers} servers)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of the IPDPSW 2017 IaaS-allocation paper.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--runs", type=int, default=1, help="scenarios per point")
+    common.add_argument("--tightness", type=float, default=0.65)
+    common.add_argument("--population", type=int, default=20)
+    common.add_argument("--evaluations", type=int, default=600)
+    common.add_argument(
+        "--include-cp-hybrid",
+        action="store_true",
+        help="include the slow nsga3_cp hybrid in sweeps",
+    )
+
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, help_text in [
+        ("fig7", cmd_fig7, "execution time, few resources"),
+        ("fig8", cmd_fig8, "execution time, many resources"),
+        ("fig9", cmd_fig9, "rejection rate vs size"),
+        ("fig10", cmd_fig10, "violated constraints vs size"),
+        ("fig11", cmd_fig11, "provider cost (+ cost per request)"),
+        ("table2", cmd_table2, "measured capability matrix"),
+        ("table3", cmd_table3, "NSGA settings"),
+        ("compare", cmd_compare, "all algorithms on one scenario"),
+        ("generate", cmd_generate, "dump a scenario to JSON"),
+        ("diagnose", cmd_diagnose, "pre-flight feasibility checks on a scenario JSON"),
+    ]:
+        p = sub.add_parser(name, help=help_text, parents=[common])
+        p.set_defaults(func=fn)
+        if name == "fig8":
+            p.add_argument(
+                "--full", action="store_true", help="include 400x800 and 800x1600"
+            )
+        if name in ("compare", "generate"):
+            p.add_argument("--servers", type=int, default=32)
+            p.add_argument("--vms", type=int, default=64)
+        if name == "generate":
+            p.add_argument("--out", default="scenario.json")
+        if name == "diagnose":
+            p.add_argument("scenario", help="path to a scenario JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Co-localization constraints: Eq. 9 (same datacenter), Eq. 10 (same server).
+
+A co-localization group is satisfied when every *placed* member of the
+group resolves to a single location (server or datacenter).  Violations
+count the number of extra distinct locations: a group split across 3
+servers when it must share one counts 2 violations, so repair progress
+is visible to the search.  Unplaced members are the assignment
+constraint's concern and do not double-count here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.base import Constraint
+from repro.errors import ConstraintError
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED
+from repro.types import IntArray
+
+__all__ = ["SameServerConstraint", "SameDatacenterConstraint"]
+
+
+def _distinct_per_row(values: IntArray) -> IntArray:
+    """Count distinct values per row of a small 2-D int array."""
+    ordered = np.sort(values, axis=1)
+    changes = ordered[:, 1:] != ordered[:, :-1]
+    return 1 + changes.sum(axis=1)
+
+
+class _GroupConstraint(Constraint):
+    """Shared plumbing for group-membership constraints."""
+
+    def __init__(self, members: tuple[int, ...]) -> None:
+        members = tuple(int(k) for k in members)
+        if len(members) < 2:
+            raise ConstraintError(f"group needs >= 2 members, got {members}")
+        if len(set(members)) != len(members):
+            raise ConstraintError(f"duplicate members in {members}")
+        self.members = members
+        self._idx = np.asarray(members, dtype=np.int64)
+
+    def _member_genes(self, assignment: IntArray) -> IntArray:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.ndim != 1:
+            raise ValueError("assignment must be a 1-D genome")
+        if self._idx.max() >= assignment.shape[0]:
+            raise ConstraintError(
+                f"group member {int(self._idx.max())} outside genome of "
+                f"length {assignment.shape[0]}"
+            )
+        return assignment[self._idx]
+
+
+class SameServerConstraint(_GroupConstraint):
+    """Eq. 10: all group members on one physical server."""
+
+    name = "same_server"
+
+    def violations(self, assignment: IntArray) -> int:
+        genes = self._member_genes(assignment)
+        placed = genes[genes != UNPLACED]
+        if placed.size <= 1:
+            return 0
+        return int(np.unique(placed).size - 1)
+
+    def batch_violations(self, population: IntArray) -> IntArray:
+        population = np.asarray(population, dtype=np.int64)
+        genes = population[:, self._idx]
+        if np.any(genes == UNPLACED):
+            return super().batch_violations(population)
+        return (_distinct_per_row(genes) - 1).astype(np.int64)
+
+
+class SameDatacenterConstraint(_GroupConstraint):
+    """Eq. 9: all group members inside one datacenter."""
+
+    name = "same_datacenter"
+
+    def __init__(
+        self, members: tuple[int, ...], infrastructure: Infrastructure
+    ) -> None:
+        super().__init__(members)
+        self.infrastructure = infrastructure
+
+    def _to_datacenters(self, genes: IntArray) -> IntArray:
+        dc = np.full(genes.shape, UNPLACED, dtype=np.int64)
+        mask = genes != UNPLACED
+        dc[mask] = self.infrastructure.server_datacenter[genes[mask]]
+        return dc
+
+    def violations(self, assignment: IntArray) -> int:
+        dcs = self._to_datacenters(self._member_genes(assignment))
+        placed = dcs[dcs != UNPLACED]
+        if placed.size <= 1:
+            return 0
+        return int(np.unique(placed).size - 1)
+
+    def batch_violations(self, population: IntArray) -> IntArray:
+        population = np.asarray(population, dtype=np.int64)
+        genes = population[:, self._idx]
+        if np.any(genes == UNPLACED):
+            return super().batch_violations(population)
+        dcs = self.infrastructure.server_datacenter[genes]
+        return (_distinct_per_row(dcs) - 1).astype(np.int64)

@@ -1,0 +1,67 @@
+"""Separation constraints: Eq. 11 (different datacenters), Eq. 12
+(different servers).
+
+A separation group is satisfied when no two *placed* members share a
+location.  Violations count the collisions collapsed away: k members on
+one server that must all differ contribute k-1 violations, so each
+repair move that peels one member off reduces the count by one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.affinity import _GroupConstraint, _distinct_per_row
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED
+from repro.types import IntArray
+
+__all__ = ["DifferentServersConstraint", "DifferentDatacentersConstraint"]
+
+
+class DifferentServersConstraint(_GroupConstraint):
+    """Eq. 12: no two group members on the same server."""
+
+    name = "different_servers"
+
+    def violations(self, assignment: IntArray) -> int:
+        genes = self._member_genes(assignment)
+        placed = genes[genes != UNPLACED]
+        if placed.size <= 1:
+            return 0
+        return int(placed.size - np.unique(placed).size)
+
+    def batch_violations(self, population: IntArray) -> IntArray:
+        population = np.asarray(population, dtype=np.int64)
+        genes = population[:, self._idx]
+        if np.any(genes == UNPLACED):
+            return super().batch_violations(population)
+        return (genes.shape[1] - _distinct_per_row(genes)).astype(np.int64)
+
+
+class DifferentDatacentersConstraint(_GroupConstraint):
+    """Eq. 11: no two group members inside the same datacenter."""
+
+    name = "different_datacenters"
+
+    def __init__(
+        self, members: tuple[int, ...], infrastructure: Infrastructure
+    ) -> None:
+        super().__init__(members)
+        self.infrastructure = infrastructure
+
+    def violations(self, assignment: IntArray) -> int:
+        genes = self._member_genes(assignment)
+        placed = genes[genes != UNPLACED]
+        if placed.size <= 1:
+            return 0
+        dcs = self.infrastructure.server_datacenter[placed]
+        return int(dcs.size - np.unique(dcs).size)
+
+    def batch_violations(self, population: IntArray) -> IntArray:
+        population = np.asarray(population, dtype=np.int64)
+        genes = population[:, self._idx]
+        if np.any(genes == UNPLACED):
+            return super().batch_violations(population)
+        dcs = self.infrastructure.server_datacenter[genes]
+        return (genes.shape[1] - _distinct_per_row(dcs)).astype(np.int64)

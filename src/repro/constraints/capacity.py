@@ -1,0 +1,151 @@
+"""The provider capacity limit, Eq. 4 / Eq. 16.
+
+For every datacenter i, server j and attribute l::
+
+    sum_k C_kl * X_ijk  <=  P_jl * F_jl
+
+i.e. the demand packed onto a server, per attribute, may not exceed its
+capacity once the virtual-to-physical overhead factor F is applied.
+When the platform already hosts committed tenants, their usage is a
+fixed baseline that shrinks the right-hand side.
+
+A violation is counted per (server, attribute) cell that overflows —
+this is the granularity the tabu repair works at ("servers where
+constraints are exceeded", Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.base import Constraint
+from repro.errors import DimensionError
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED
+from repro.types import BoolArray, FloatArray, IntArray
+
+__all__ = ["CapacityConstraint"]
+
+
+class CapacityConstraint(Constraint):
+    """Vectorized Eq. 4 checker.
+
+    Parameters
+    ----------
+    infrastructure:
+        The provider estate (supplies P, F and m, h).
+    demand:
+        The request's C matrix, shape (n, h).
+    base_usage:
+        Optional committed usage matrix (m, h) from earlier scheduling
+        windows; defaults to an empty platform.
+    tolerance:
+        Relative slack for float comparisons (overflow must exceed
+        capacity by more than ``tolerance`` to count).
+    """
+
+    name = "capacity"
+
+    def __init__(
+        self,
+        infrastructure: Infrastructure,
+        demand: FloatArray,
+        base_usage: FloatArray | None = None,
+        tolerance: float = 1e-9,
+    ) -> None:
+        self.infrastructure = infrastructure
+        demand = np.ascontiguousarray(demand, dtype=np.float64)
+        if demand.ndim != 2 or demand.shape[1] != infrastructure.h:
+            raise DimensionError(
+                f"demand shape {demand.shape} incompatible with h={infrastructure.h}"
+            )
+        self.demand = demand
+        effective = infrastructure.effective_capacity
+        if base_usage is not None:
+            base_usage = np.ascontiguousarray(base_usage, dtype=np.float64)
+            if base_usage.shape != effective.shape:
+                raise DimensionError(
+                    f"base_usage shape {base_usage.shape}, expected {effective.shape}"
+                )
+            effective = effective - base_usage
+        #: Residual usable capacity per (server, attribute).
+        self.limit: FloatArray = effective
+        self.tolerance = float(tolerance)
+        self._slack = self.tolerance * np.maximum(1.0, np.abs(self.limit))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of resources in the request."""
+        return self.demand.shape[0]
+
+    def server_usage(self, assignment: IntArray) -> FloatArray:
+        """Usage matrix (m, h) induced by one genome (unplaced genes skipped)."""
+        assignment = np.asarray(assignment, dtype=np.int64)
+        usage = np.zeros_like(self.limit)
+        mask = assignment != UNPLACED
+        np.add.at(usage, assignment[mask], self.demand[mask])
+        return usage
+
+    def overloaded_cells(self, assignment: IntArray) -> BoolArray:
+        """Boolean (m, h) mask of capacity cells exceeded by the genome."""
+        usage = self.server_usage(assignment)
+        return usage > self.limit + self._slack
+
+    def overloaded_servers(self, assignment: IntArray) -> IntArray:
+        """Indices of servers with at least one exceeded attribute.
+
+        This is ``exceedingDetection`` from the paper's repair
+        procedure (Fig. 5, line 2).
+        """
+        return np.flatnonzero(self.overloaded_cells(assignment).any(axis=1)).astype(
+            np.int64
+        )
+
+    def violations(self, assignment: IntArray) -> int:
+        return int(self.overloaded_cells(assignment).sum())
+
+    # ------------------------------------------------------------------
+    def batch_usage(self, population: IntArray) -> FloatArray:
+        """Usage tensor (pop, m, h) for a whole population.
+
+        Implemented with per-attribute ``bincount`` over flattened
+        (individual, server) indices — one pass over the population per
+        attribute, no Python-level loop over individuals.
+        """
+        population = np.asarray(population, dtype=np.int64)
+        pop, n = population.shape
+        if n != self.n:
+            raise DimensionError(
+                f"population genome length {n} != request size {self.n}"
+            )
+        m, h = self.limit.shape
+        mask = population != UNPLACED
+        # Route unplaced genes to a scratch bucket at index m.
+        servers = np.where(mask, population, m)
+        flat = (np.arange(pop)[:, None] * (m + 1) + servers).ravel()
+        usage = np.empty((pop, m, h))
+        for l in range(h):
+            weights = np.broadcast_to(self.demand[:, l], (pop, n)).ravel()
+            counts = np.bincount(flat, weights=weights, minlength=pop * (m + 1))
+            usage[:, :, l] = counts.reshape(pop, m + 1)[:, :m]
+        return usage
+
+    def batch_violations(self, population: IntArray) -> IntArray:
+        usage = self.batch_usage(population)
+        over = usage > self.limit[None, :, :] + self._slack[None, :, :]
+        return over.sum(axis=(1, 2)).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def fits(self, assignment: IntArray, resource: int, server: int) -> bool:
+        """Would moving ``resource`` to ``server`` keep that server legal?
+
+        This is the ``isValidAllocation`` predicate from the paper's
+        neighbour search (Fig. 6, line 3): server capacity only, the
+        affinity rules are checked by their own constraints.
+        """
+        assignment = np.asarray(assignment, dtype=np.int64)
+        others = (assignment == server)
+        others[resource] = False
+        load = self.demand[others].sum(axis=0) + self.demand[resource]
+        return bool(np.all(load <= self.limit[server] + self._slack[server]))

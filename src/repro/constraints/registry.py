@@ -1,0 +1,150 @@
+"""ConstraintSet: everything an (infrastructure, request) pair implies.
+
+The paper evaluates "each constraint (capacities constraint, affinity
+and anti-affinity constraints) ... during the evaluation process"
+(Fig. 3).  :class:`ConstraintSet` is that evaluation step: it owns the
+capacity constraint, one group constraint per consumer placement rule,
+and (optionally) the assignment constraint, and produces per-individual
+and per-population violation counts plus the per-constraint breakdown
+reported in Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.affinity import (
+    SameDatacenterConstraint,
+    SameServerConstraint,
+)
+from repro.constraints.anti_affinity import (
+    DifferentDatacentersConstraint,
+    DifferentServersConstraint,
+)
+from repro.constraints.assignment import AssignmentConstraint
+from repro.constraints.base import Constraint
+from repro.constraints.capacity import CapacityConstraint
+from repro.errors import UnknownRuleError
+from repro.model.infrastructure import Infrastructure
+from repro.model.request import PlacementGroup, Request
+from repro.types import FloatArray, IntArray, PlacementRule
+
+__all__ = ["ConstraintSet", "make_group_constraint"]
+
+
+def make_group_constraint(
+    group: PlacementGroup, infrastructure: Infrastructure
+) -> Constraint:
+    """Instantiate the concrete constraint for one placement rule."""
+    rule = group.rule
+    if rule is PlacementRule.SAME_SERVER:
+        return SameServerConstraint(group.members)
+    if rule is PlacementRule.SAME_DATACENTER:
+        return SameDatacenterConstraint(group.members, infrastructure)
+    if rule is PlacementRule.DIFFERENT_SERVERS:
+        return DifferentServersConstraint(group.members)
+    if rule is PlacementRule.DIFFERENT_DATACENTERS:
+        return DifferentDatacentersConstraint(group.members, infrastructure)
+    raise UnknownRuleError(f"unhandled placement rule: {rule!r}")
+
+
+@dataclass
+class ConstraintSet:
+    """All hard constraints of one allocation problem instance.
+
+    Parameters
+    ----------
+    infrastructure, request:
+        The problem instance.
+    base_usage:
+        Committed usage from earlier windows (shrinks capacity).
+    include_assignment:
+        Whether to include Eq. 5's unplaced-gene check.  EAs evolve
+        fully placed genomes, so they usually disable it; greedy
+        algorithms that may leave resources unplaced keep it on.
+    """
+
+    infrastructure: Infrastructure
+    request: Request
+    base_usage: FloatArray | None = None
+    include_assignment: bool = True
+    qos_strict: bool = False
+
+    def __post_init__(self) -> None:
+        self.capacity = CapacityConstraint(
+            self.infrastructure, self.request.demand, base_usage=self.base_usage
+        )
+        self.group_constraints: tuple[Constraint, ...] = tuple(
+            make_group_constraint(gr, self.infrastructure)
+            for gr in self.request.groups
+        )
+        self.assignment: AssignmentConstraint | None = (
+            AssignmentConstraint(self.request.n) if self.include_assignment else None
+        )
+        self.load_cap = None
+        if self.qos_strict:
+            from repro.constraints.load_cap import LoadCapConstraint
+
+            self.load_cap = LoadCapConstraint(
+                self.infrastructure, self.request.demand, base_usage=self.base_usage
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def all_constraints(self) -> tuple[Constraint, ...]:
+        """Capacity first, then groups, then the optional extras."""
+        cons: tuple[Constraint, ...] = (self.capacity, *self.group_constraints)
+        if self.load_cap is not None:
+            cons = (*cons, self.load_cap)
+        if self.assignment is not None:
+            cons = (*cons, self.assignment)
+        return cons
+
+    def __len__(self) -> int:
+        return len(self.all_constraints)
+
+    # ------------------------------------------------------------------
+    def violations(self, assignment: IntArray) -> int:
+        """Total violation count across all constraints for one genome."""
+        return sum(c.violations(assignment) for c in self.all_constraints)
+
+    def breakdown(self, assignment: IntArray) -> dict[str, int]:
+        """Violations keyed by constraint name (names may repeat → summed)."""
+        out: dict[str, int] = {}
+        for c in self.all_constraints:
+            out[c.name] = out.get(c.name, 0) + c.violations(assignment)
+        return out
+
+    def is_feasible(self, assignment: IntArray) -> bool:
+        """True iff every constraint is satisfied."""
+        for c in self.all_constraints:
+            if c.violations(assignment) > 0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def batch_violations(self, population: IntArray) -> IntArray:
+        """Total violations per individual, shape (pop,)."""
+        population = np.asarray(population, dtype=np.int64)
+        total = np.zeros(population.shape[0], dtype=np.int64)
+        for c in self.all_constraints:
+            total += c.batch_violations(population)
+        return total
+
+    def batch_feasible(self, population: IntArray) -> np.ndarray:
+        """Boolean feasibility mask per individual."""
+        return self.batch_violations(population) == 0
+
+    def batch_breakdown(self, population: IntArray) -> dict[str, IntArray]:
+        """Per-constraint-name violation vectors for a population."""
+        population = np.asarray(population, dtype=np.int64)
+        out: dict[str, IntArray] = {}
+        for c in self.all_constraints:
+            counts = c.batch_violations(population)
+            if c.name in out:
+                out[c.name] = out[c.name] + counts
+            else:
+                out[c.name] = counts
+        return out

@@ -1,0 +1,31 @@
+"""Constraint-programming solver — the reproduction's Choco substitute.
+
+The paper's baseline drives a Java constraint solver (Choco) over the
+matrix model of Section III.  This package implements the same
+capability from scratch: per-VM server domains
+(:class:`DomainStore`), forward-checking propagation of the capacity
+and affinity/anti-affinity constraints (:mod:`propagation`), a
+backtracking search with minimum-remaining-values variable ordering
+(:class:`CPSearch`) and a branch-and-bound optimization mode over the
+usage/operating cost (:class:`CPSolver`).
+
+Like the original, it is complete: on small instances it either finds
+a feasible (or cost-optimal) placement or proves none exists.  Also
+like the original, it does not scale — Figure 8's blow-up is the
+expected behaviour, so searches accept node and time limits.
+"""
+
+from repro.cp.domains import DomainStore
+from repro.cp.search import CPSearch, SearchLimits, SearchStats
+from repro.cp.solver import CPSolver, CPSolution
+from repro.cp.allocator import CPAllocator
+
+__all__ = [
+    "DomainStore",
+    "CPSearch",
+    "SearchLimits",
+    "SearchStats",
+    "CPSolver",
+    "CPSolution",
+    "CPAllocator",
+]

@@ -1,0 +1,154 @@
+"""CPSolver: the user-facing constraint-programming facade.
+
+Mirrors how the paper drives Choco: feed it the matrix model, ask for
+either any feasible placement or the cost-minimal one, and accept that
+the search is complete but exponential.  The solver also doubles as
+the repair engine of the "NSGA-III with constraint solver" baseline:
+:meth:`CPSolver.repair_population` re-solves each infeasible genome
+while pinning as many genes as possible to their current values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cp.search import CPSearch, SearchLimits, SearchStats
+from repro.errors import ValidationError
+from repro.model.infrastructure import Infrastructure
+from repro.model.request import Request
+from repro.types import FloatArray, IntArray
+
+__all__ = ["CPSolution", "CPSolver"]
+
+
+@dataclass(frozen=True)
+class CPSolution:
+    """Result of one CP solve.
+
+    ``assignment`` is None when no placement was found; ``proved``
+    tells whether that is a proof of infeasibility (search exhausted)
+    or merely budget exhaustion.
+    """
+
+    assignment: IntArray | None
+    cost: float
+    stats: SearchStats
+
+    @property
+    def found(self) -> bool:
+        """Whether a feasible placement was produced."""
+        return self.assignment is not None
+
+    @property
+    def proved(self) -> bool:
+        """Whether the search ran to completion (no budget abort)."""
+        return self.stats.exhausted
+
+
+class CPSolver:
+    """Complete solver for one (infrastructure, request) instance.
+
+    Parameters
+    ----------
+    infrastructure, request:
+        The instance.
+    base_usage:
+        Committed usage from earlier windows.
+    limits:
+        Node/time budget per solve call.
+    value_order:
+        Candidate ordering heuristic (see :class:`CPSearch`).
+    """
+
+    def __init__(
+        self,
+        infrastructure: Infrastructure,
+        request: Request,
+        base_usage: FloatArray | None = None,
+        limits: SearchLimits | None = None,
+        value_order: str = "cheapest",
+    ) -> None:
+        self.infrastructure = infrastructure
+        self.request = request
+        self.base_usage = base_usage
+        self.limits = limits or SearchLimits()
+        self.value_order = value_order
+
+    def _search(self) -> CPSearch:
+        return CPSearch(
+            self.infrastructure,
+            self.request,
+            base_usage=self.base_usage,
+            value_order=self.value_order,
+            limits=self.limits,
+        )
+
+    # ------------------------------------------------------------------
+    def find_feasible(self) -> CPSolution:
+        """First feasible placement (or proof of infeasibility)."""
+        search = self._search()
+        assignment, cost = search.solve(find_all_improving=False)
+        return CPSolution(assignment=assignment, cost=cost, stats=search.stats)
+
+    def optimize(self) -> CPSolution:
+        """Cost-minimal placement via branch & bound."""
+        search = self._search()
+        assignment, cost = search.solve(find_all_improving=True)
+        return CPSolution(assignment=assignment, cost=cost, stats=search.stats)
+
+    # ------------------------------------------------------------------
+    def repair_genome(self, assignment: IntArray) -> IntArray:
+        """CP-based repair: keep the genome where it is consistent,
+        re-solve the rest.
+
+        Strategy: seed the search's value order so each VM tries its
+        current server first, then run a feasibility search.  If the
+        search fails (or the budget dies), the genome is returned
+        unchanged — matching the paper's observation that the CP-repair
+        variant "remains too weak to repair genes".
+        """
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (self.request.n,):
+            raise ValidationError(
+                f"genome shape {assignment.shape}, expected ({self.request.n},)"
+            )
+
+        search = self._search()
+
+        original_order = search._ordered_candidates
+
+        def seeded_order(domains, residual, vm):  # type: ignore[no-untyped-def]
+            candidates = original_order(domains, residual, vm)
+            current = int(assignment[vm])
+            if current in candidates:
+                rest = candidates[candidates != current]
+                return np.concatenate(([current], rest))
+            return candidates
+
+        search._ordered_candidates = seeded_order  # type: ignore[method-assign]
+        solved, _cost = search.solve(find_all_improving=False)
+        return assignment.copy() if solved is None else solved
+
+    def repair_population(self, population: IntArray) -> IntArray:
+        """Repair hook compatible with
+        :class:`~repro.ea.constraint_handling.RepairHandling`."""
+        population = np.asarray(population, dtype=np.int64)
+        if population.ndim == 1:
+            return self.repair_genome(population)
+        from repro.constraints.registry import ConstraintSet
+
+        constraints = ConstraintSet(
+            self.infrastructure,
+            self.request,
+            base_usage=self.base_usage,
+            include_assignment=False,
+        )
+        feasible = constraints.batch_feasible(population)
+        if feasible.all():
+            return population
+        repaired = population.copy()
+        for i in np.flatnonzero(~feasible):
+            repaired[i] = self.repair_genome(population[i])
+        return repaired

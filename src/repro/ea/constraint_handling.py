@@ -1,0 +1,136 @@
+"""Constraint-handling strategies for evolutionary search (Section III).
+
+The paper lists four ways evolutionary algorithms can face strict
+constraints and adopts two:
+
+1. *Excluding* individuals that violate constraints — implemented by
+   :class:`ExclusionHandling` (found "inefficient because it excludes
+   too many individuals").
+2. *Fixing faulty individuals through a repair process* — implemented
+   by :class:`RepairHandling`, parameterized by a repair callable so
+   the same machinery hosts the tabu-search repair (the contribution)
+   and the constraint-solver repair (the NSGA-III + CP baseline).
+
+The violation-penalty variant the authors tried and rejected ("serious
+increases in response times") is :class:`PenaltyHandling`;
+:class:`NoHandling` is the unmodified NSGA behaviour whose violations
+Figure 10 reports.
+
+A handler participates at three points of the NSGA loop:
+
+* :meth:`prepare` — transform genomes before evaluation (repair);
+* :meth:`effective_objectives` — objectives used for sorting (penalty);
+* :attr:`uses_feasibility_tiers` — when True, survivor selection is
+  feasibility-first: infeasible individuals can never displace feasible
+  ones (this *is* exclusion, operationally: violators are excluded from
+  survival whenever enough feasible individuals exist).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "ConstraintHandler",
+    "NoHandling",
+    "ExclusionHandling",
+    "PenaltyHandling",
+    "RepairHandling",
+]
+
+RepairFn = Callable[[IntArray], IntArray]
+
+
+class ConstraintHandler:
+    """Base strategy: constraints are ignored (unmodified NSGA)."""
+
+    #: Whether sorting should use feasibility tiers before Pareto rank.
+    uses_feasibility_tiers: bool = False
+
+    def prepare(self, genomes: IntArray) -> IntArray:
+        """Hook run on genomes before they are evaluated."""
+        return genomes
+
+    def effective_objectives(
+        self, objectives: FloatArray, violations: IntArray
+    ) -> FloatArray:
+        """Objectives the sorter should see (default: untouched)."""
+        return objectives
+
+
+class NoHandling(ConstraintHandler):
+    """Unmodified NSGA-II/III: constraints play no role in the search."""
+
+
+class ExclusionHandling(ConstraintHandler):
+    """Method 1: violating individuals are barred from survival.
+
+    When fewer feasible individuals exist than survivor slots, the
+    least-violating infeasible ones fill the gap (otherwise the
+    population would collapse) — but they never displace a feasible
+    individual, which is what "excluding" means operationally.
+    Without any repair mechanism feasible individuals stay rare on
+    constrained instances, which reproduces the paper's finding that
+    this method "excludes too many individuals".
+    """
+
+    uses_feasibility_tiers = True
+
+
+class PenaltyHandling(ConstraintHandler):
+    """The rejected alternative: add ``coefficient * violations`` to
+    every objective, steering the search away from infeasible regions
+    at the price of a distorted landscape."""
+
+    def __init__(self, coefficient: float = 1_000.0) -> None:
+        if coefficient < 0:
+            raise ValidationError(f"coefficient must be >= 0, got {coefficient}")
+        self.coefficient = float(coefficient)
+
+    def effective_objectives(
+        self, objectives: FloatArray, violations: IntArray
+    ) -> FloatArray:
+        objectives = np.asarray(objectives, dtype=np.float64)
+        violations = np.asarray(violations, dtype=np.float64)
+        return objectives + self.coefficient * violations[:, None]
+
+
+class RepairHandling(ConstraintHandler):
+    """Method 2: fix faulty individuals via a repair procedure.
+
+    Parameters
+    ----------
+    repair_fn:
+        Maps a genome matrix (pop, n) to a repaired matrix of the same
+        shape.  The tabu-search repair of Fig. 5/6 and the CP-based
+        repair both plug in here.
+    """
+
+    uses_feasibility_tiers = True
+
+    def __init__(self, repair_fn: RepairFn) -> None:
+        if not callable(repair_fn):
+            raise ValidationError("repair_fn must be callable")
+        self.repair_fn = repair_fn
+        self._repair_calls = 0
+
+    @property
+    def repair_calls(self) -> int:
+        """How many times the repair hook ran (instrumentation)."""
+        return self._repair_calls
+
+    def prepare(self, genomes: IntArray) -> IntArray:
+        self._repair_calls += 1
+        repaired = self.repair_fn(np.asarray(genomes, dtype=np.int64))
+        repaired = np.asarray(repaired, dtype=np.int64)
+        if repaired.shape != genomes.shape:
+            raise ValidationError(
+                f"repair changed population shape {genomes.shape} -> "
+                f"{repaired.shape}"
+            )
+        return repaired

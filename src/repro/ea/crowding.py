@@ -1,0 +1,49 @@
+"""Crowding distance (NSGA-II diversity measure, Deb et al. 2002).
+
+Within one front, each individual's crowding distance is the sum over
+objectives of the normalized gap between its neighbours when the front
+is sorted by that objective; boundary individuals get +inf so extremes
+are always preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray
+
+__all__ = ["crowding_distance"]
+
+
+def crowding_distance(objectives: FloatArray) -> FloatArray:
+    """Crowding distance of every individual in one front.
+
+    Parameters
+    ----------
+    objectives:
+        (size, k) objective matrix of a single front.
+
+    Returns
+    -------
+    (size,) float array; boundary points are ``inf``.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    if objectives.ndim != 2:
+        raise ValueError(f"objectives must be 2-D, got shape {objectives.shape}")
+    size, k = objectives.shape
+    if size <= 2:
+        return np.full(size, np.inf)
+    distance = np.zeros(size)
+    for col in range(k):
+        order = np.argsort(objectives[:, col], kind="stable")
+        values = objectives[order, col]
+        span = values[-1] - values[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue  # degenerate objective: interior gaps are all zero
+        gaps = (values[2:] - values[:-2]) / span
+        interior = order[1:-1]
+        finite = ~np.isinf(distance[interior])
+        distance[interior[finite]] += gaps[finite]
+    return distance

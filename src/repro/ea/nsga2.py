@@ -1,0 +1,62 @@
+"""NSGA-II (Deb, Pratap, Agarwal, Meyarivan 2002).
+
+Mating selection is the crowded binary tournament; the partial last
+front of environmental selection is split by crowding distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ea.crowding import crowding_distance
+from repro.ea.nsga_base import NSGABase
+from repro.ea.operators.selection import binary_tournament
+from repro.ea.population import Population
+from repro.ea.sorting import fast_non_dominated_sort
+from repro.types import FloatArray, IntArray
+
+__all__ = ["NSGA2"]
+
+
+class NSGA2(NSGABase):
+    """The unmodified NSGA-II baseline (or constrained, per handler)."""
+
+    algorithm_name = "nsga2"
+
+    def _select_parents(
+        self,
+        population: Population,
+        effective_objectives: FloatArray,
+        rng: np.random.Generator,
+    ) -> IntArray:
+        ranks = fast_non_dominated_sort(effective_objectives)
+        crowding = np.zeros(len(population))
+        for front_id in range(int(ranks.max()) + 1):
+            members = np.flatnonzero(ranks == front_id)
+            crowding[members] = crowding_distance(
+                effective_objectives[members]
+            )
+        tiers = (
+            np.where(population.violations == 0, 0, 1 + population.violations)
+            if self.handler.uses_feasibility_tiers
+            else None
+        )
+        return binary_tournament(
+            ranks,
+            crowding,
+            n_parents=self.config.population_size,
+            tiers=tiers,
+            seed=rng,
+        )
+
+    def _split_last_front(
+        self,
+        effective_objectives: FloatArray,
+        confirmed: IntArray,
+        last_front: IntArray,
+        n_select: int,
+        rng: np.random.Generator,
+    ) -> IntArray:
+        distances = crowding_distance(effective_objectives[last_front])
+        order = np.argsort(-distances, kind="stable")
+        return last_front[order[:n_select]]

@@ -1,0 +1,301 @@
+"""Shared NSGA engine: the generational loop of the paper's Figure 3.
+
+Initialization → evaluation (with optional repair) → mating selection →
+SBX crossover → PM mutation → evaluation → environmental selection,
+until the evaluation budget (Table III: 10 000) or the time limit is
+exhausted.  :class:`NSGA2` and :class:`NSGA3` supply the two pieces
+that differ: mating selection and the splitting of the last partial
+front (crowding distance vs. reference-point niching).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.ea.config import NSGAConfig
+from repro.ea.constraint_handling import ConstraintHandler, NoHandling
+from repro.ea.encoding import random_population
+from repro.ea.operators.polynomial import polynomial_mutation
+from repro.ea.operators.sbx import sbx_crossover
+from repro.ea.population import Population
+from repro.ea.result import EvolutionResult, GenerationStats
+from repro.ea.sorting import fast_non_dominated_sort
+from repro.objectives.evaluator import PopulationEvaluator
+from repro.types import FloatArray, IntArray
+from repro.utils.timers import Stopwatch
+
+__all__ = ["NSGABase"]
+
+
+class NSGABase(abc.ABC):
+    """Template-method NSGA engine.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters (defaults = Table III).
+    handler:
+        Constraint-handling strategy; default is the *unmodified*
+        behaviour (constraints ignored), matching the paper's
+        "unmodified NSGA-II / NSGA-III" baselines.
+    track_history:
+        Record per-generation :class:`GenerationStats`.
+    """
+
+    algorithm_name = "nsga"
+
+    def __init__(
+        self,
+        config: NSGAConfig | None = None,
+        handler: ConstraintHandler | None = None,
+        track_history: bool = False,
+    ) -> None:
+        self.config = config or NSGAConfig()
+        self.handler = handler or NoHandling()
+        self.track_history = bool(track_history)
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _select_parents(
+        self,
+        population: Population,
+        effective_objectives: FloatArray,
+        rng: np.random.Generator,
+    ) -> IntArray:
+        """Indices of ``population_size`` parents for variation."""
+
+    @abc.abstractmethod
+    def _split_last_front(
+        self,
+        effective_objectives: FloatArray,
+        confirmed: IntArray,
+        last_front: IntArray,
+        n_select: int,
+        rng: np.random.Generator,
+    ) -> IntArray:
+        """Choose ``n_select`` members of the partial front."""
+
+    # ------------------------------------------------------------------
+    # Variation (overridable: the operator-ablation bench swaps this)
+    # ------------------------------------------------------------------
+    def _variation(
+        self, parents: IntArray, n_servers: int, rng: np.random.Generator
+    ) -> IntArray:
+        """SBX crossover followed by polynomial mutation (the paper's
+        "SBX and PM standard"), with Table III rates."""
+        cfg = self.config
+        offspring = sbx_crossover(
+            parents,
+            n_servers=n_servers,
+            rate=cfg.sbx_rate,
+            eta=cfg.sbx_distribution_index,
+            seed=rng,
+        )
+        return polynomial_mutation(
+            offspring,
+            n_servers=n_servers,
+            rate=cfg.pm_rate,
+            eta=cfg.pm_distribution_index,
+            seed=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Environmental selection (shared)
+    # ------------------------------------------------------------------
+    def _environmental_selection(
+        self,
+        merged: Population,
+        n_survive: int,
+        rng: np.random.Generator,
+    ) -> IntArray:
+        """Pick survivor indices from the merged parent+offspring pool."""
+        eff = self.handler.effective_objectives(merged.objectives, merged.violations)
+
+        if self.handler.uses_feasibility_tiers:
+            feasible = np.flatnonzero(merged.violations == 0)
+            infeasible = np.flatnonzero(merged.violations != 0)
+        else:
+            feasible = np.arange(len(merged))
+            infeasible = np.empty(0, dtype=np.int64)
+
+        chosen: list[np.ndarray] = []
+        remaining = n_survive
+
+        if feasible.size:
+            ranks = fast_non_dominated_sort(eff[feasible])
+            for front_id in range(int(ranks.max()) + 1):
+                front = feasible[ranks == front_id]
+                if front.size <= remaining:
+                    chosen.append(front)
+                    remaining -= front.size
+                    if remaining == 0:
+                        break
+                else:
+                    confirmed = (
+                        np.concatenate(chosen)
+                        if chosen
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    picked = self._split_last_front(
+                        eff, confirmed, front, remaining, rng
+                    )
+                    chosen.append(np.asarray(picked, dtype=np.int64))
+                    remaining = 0
+                    break
+
+        if remaining > 0 and infeasible.size:
+            # Feasibility-first fill: least-violating individuals, ties
+            # broken by aggregate effective cost.
+            order = np.lexsort(
+                (eff[infeasible].sum(axis=1), merged.violations[infeasible])
+            )
+            take = infeasible[order[:remaining]]
+            chosen.append(take)
+            remaining -= take.size
+
+        survivors = (
+            np.concatenate(chosen) if chosen else np.empty(0, dtype=np.int64)
+        )
+        if survivors.size != n_survive:
+            raise RuntimeError(
+                f"environmental selection produced {survivors.size} survivors, "
+                f"expected {n_survive}"
+            )
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        evaluator: PopulationEvaluator,
+        initial_genomes: IntArray | None = None,
+    ) -> EvolutionResult:
+        """Optimize one allocation instance and return the final state.
+
+        Parameters
+        ----------
+        evaluator:
+            The problem instance wrapper.
+        initial_genomes:
+            Optional warm start: up to ``population_size`` genomes
+            (e.g. a greedy seed, or the previous window's solution for
+            reconfiguration runs).  Fewer rows are topped up with
+            random genomes; extra rows are ignored.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        n = evaluator.request.n
+        m = evaluator.infrastructure.m
+
+        stopwatch = Stopwatch().start()
+        evaluations = 0
+        history: list[GenerationStats] = []
+
+        genomes = random_population(cfg.population_size, n, m, seed=rng)
+        if initial_genomes is not None:
+            seeds = np.asarray(initial_genomes, dtype=np.int64)
+            if seeds.ndim == 1:
+                seeds = seeds[None, :]
+            if seeds.shape[1] != n:
+                raise ValueError(
+                    f"initial genomes have length {seeds.shape[1]}, "
+                    f"instance needs {n}"
+                )
+            count = min(seeds.shape[0], cfg.population_size)
+            genomes[:count] = seeds[:count]
+        genomes = self.handler.prepare(genomes)
+        result = evaluator.evaluate_population(genomes)
+        evaluations += cfg.population_size
+        population = Population(genomes, result.objectives, result.violations)
+
+        generation = 0
+        if self.track_history:
+            history.append(self._stats(generation, evaluations, population))
+
+        def _incumbent(pop: Population) -> tuple[int, float]:
+            """(violations, aggregate) of the current single-solution
+            pick — the quantity the stall detector watches."""
+            idx = pop.best_feasible_index()
+            if idx is None:
+                idx = pop.least_violating_index()
+            return int(pop.violations[idx]), float(pop.objectives[idx].sum())
+
+        best_seen = _incumbent(population)
+        stalled = 0
+
+        while evaluations + cfg.population_size <= cfg.max_evaluations:
+            if cfg.time_limit is not None and stopwatch.elapsed >= cfg.time_limit:
+                break
+            if (
+                cfg.stall_generations is not None
+                and stalled >= cfg.stall_generations
+            ):
+                break
+            generation += 1
+
+            eff = self.handler.effective_objectives(
+                population.objectives, population.violations
+            )
+            parent_idx = self._select_parents(population, eff, rng)
+            parents = population.genomes[parent_idx]
+
+            if cfg.repair_parents:
+                # Fig. 4: parents violating user constraints are treated
+                # by the repair before they reproduce.
+                parents = self.handler.prepare(parents)
+
+            offspring = self._variation(parents, m, rng)
+            # "The repair process is launched whenever invalid
+            # individuals are assessed" — repair before evaluation.
+            offspring = self.handler.prepare(offspring)
+
+            off_result = evaluator.evaluate_population(offspring)
+            evaluations += offspring.shape[0]
+            off_pop = Population(
+                offspring, off_result.objectives, off_result.violations
+            )
+
+            merged = Population.concatenate(population, off_pop)
+            survivors = self._environmental_selection(
+                merged, cfg.population_size, rng
+            )
+            population = merged.take(survivors)
+
+            current = _incumbent(population)
+            if current < best_seen:
+                best_seen = current
+                stalled = 0
+            else:
+                stalled += 1
+
+            if self.track_history:
+                history.append(self._stats(generation, evaluations, population))
+
+        stopwatch.stop()
+        return EvolutionResult(
+            population=population,
+            evaluations=evaluations,
+            elapsed=stopwatch.elapsed,
+            history=history,
+            algorithm=self.algorithm_name,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stats(
+        generation: int, evaluations: int, population: Population
+    ) -> GenerationStats:
+        aggregate = population.objectives.sum(axis=1)
+        return GenerationStats(
+            generation=generation,
+            evaluations=evaluations,
+            best_aggregate=float(aggregate.min()),
+            mean_aggregate=float(aggregate.mean()),
+            feasible_fraction=float(population.feasible_mask.mean()),
+            min_violations=int(population.violations.min()),
+        )

@@ -1,0 +1,73 @@
+"""Discrete variation operators for the operator-ablation study.
+
+SBX/PM treat server ids as ordered quantities, which only makes sense
+because the scenario generators lay servers out so that numerically
+close ids tend to share a datacenter.  The discrete pair here — uniform
+crossover and random-reset mutation — ignores gene ordering entirely
+and is the natural alternative for categorical genomes; the ablation
+bench compares the two families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import IntArray, SeedLike
+from repro.utils.rng import as_generator
+
+__all__ = ["uniform_crossover", "random_reset_mutation"]
+
+
+def uniform_crossover(
+    parents: IntArray,
+    rate: float = 0.70,
+    seed: SeedLike = None,
+) -> IntArray:
+    """Per-gene 50/50 exchange between consecutive parent pairs.
+
+    Pairs skip crossover with probability ``1 - rate`` (pass-through),
+    mirroring the SBX rate semantics so the two are swappable.
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    if parents.ndim != 2:
+        raise ValidationError(f"parents must be 2-D, got {parents.shape}")
+    pop, n = parents.shape
+    if pop % 2:
+        raise ValidationError(f"parent count must be even, got {pop}")
+    if not (0.0 <= rate <= 1.0):
+        raise ValidationError(f"rate must lie in [0, 1], got {rate}")
+    rng = as_generator(seed)
+
+    p1 = parents[0::2]
+    p2 = parents[1::2]
+    pairs = pop // 2
+    exchange = rng.random((pairs, n)) < 0.5
+    cross = (rng.random(pairs) < rate)[:, None]
+    take_other = exchange & cross
+    c1 = np.where(take_other, p2, p1)
+    c2 = np.where(take_other, p1, p2)
+    offspring = np.empty_like(parents)
+    offspring[0::2] = c1
+    offspring[1::2] = c2
+    return offspring
+
+
+def random_reset_mutation(
+    genomes: IntArray,
+    n_servers: int,
+    rate: float = 0.20,
+    seed: SeedLike = None,
+) -> IntArray:
+    """Each gene is redrawn uniformly from [0, m) with probability ``rate``."""
+    genomes = np.asarray(genomes, dtype=np.int64)
+    if genomes.ndim != 2:
+        raise ValidationError(f"genomes must be 2-D, got {genomes.shape}")
+    if not (0.0 <= rate <= 1.0):
+        raise ValidationError(f"rate must lie in [0, 1], got {rate}")
+    if n_servers < 1:
+        raise ValidationError(f"n_servers must be >= 1, got {n_servers}")
+    rng = as_generator(seed)
+    mutate = rng.random(genomes.shape) < rate
+    random_genes = rng.integers(0, n_servers, size=genomes.shape, dtype=np.int64)
+    return np.where(mutate, random_genes, genomes)

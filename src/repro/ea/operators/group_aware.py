@@ -1,0 +1,84 @@
+"""Group-aware crossover: exchange placement-rule groups atomically.
+
+SBX and uniform crossover treat genes independently, so a crossover
+point routinely splits a SAME_SERVER group between parents and
+manufactures violations the repair must then fix.  This operator
+treats each placement-rule group as one *super-gene*: children inherit
+a whole group's placement from a single parent, preserving whatever
+rule-consistency the parents had.  Genes outside any group cross over
+uniformly as usual.
+
+An extension operator (the paper uses plain SBX); the operator
+ablation bench can quantify how much repair work it saves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.request import Request
+from repro.types import IntArray, SeedLike
+from repro.utils.rng import as_generator
+
+__all__ = ["group_block_crossover"]
+
+
+def group_block_crossover(
+    parents: IntArray,
+    request: Request,
+    rate: float = 0.70,
+    seed: SeedLike = None,
+) -> IntArray:
+    """Cross consecutive parent pairs, keeping rule groups atomic.
+
+    Parameters
+    ----------
+    parents:
+        (pop, n) genome matrix; pop even, n == request.n.
+    request:
+        Supplies the placement groups defining the super-genes.
+    rate:
+        Per-pair crossover probability (pass-through otherwise).
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    if parents.ndim != 2:
+        raise ValidationError(f"parents must be 2-D, got {parents.shape}")
+    pop, n = parents.shape
+    if pop % 2:
+        raise ValidationError(f"parent count must be even, got {pop}")
+    if n != request.n:
+        raise ValidationError(
+            f"genome length {n} != request size {request.n}"
+        )
+    if not (0.0 <= rate <= 1.0):
+        raise ValidationError(f"rate must lie in [0, 1], got {rate}")
+    rng = as_generator(seed)
+
+    # Partition gene indices into super-genes: one block per group
+    # (first-come ownership for overlapping groups) + singletons.
+    owner = np.full(n, -1, dtype=np.int64)
+    blocks: list[np.ndarray] = []
+    for group in request.groups:
+        members = np.asarray(
+            [k for k in group.members if owner[k] < 0], dtype=np.int64
+        )
+        if members.size == 0:
+            continue
+        owner[members] = len(blocks)
+        blocks.append(members)
+    singles = np.flatnonzero(owner < 0)
+    for k in singles:
+        blocks.append(np.asarray([k], dtype=np.int64))
+
+    pairs = pop // 2
+    offspring = parents.copy()
+    cross_pair = rng.random(pairs) < rate
+    for pair in np.flatnonzero(cross_pair):
+        a, b = 2 * pair, 2 * pair + 1
+        take_other = rng.random(len(blocks)) < 0.5
+        for block_id in np.flatnonzero(take_other):
+            idx = blocks[block_id]
+            offspring[a, idx] = parents[b, idx]
+            offspring[b, idx] = parents[a, idx]
+    return offspring

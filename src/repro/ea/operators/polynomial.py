@@ -1,0 +1,77 @@
+"""Polynomial mutation (Deb & Goyal 1996), integer-adapted.
+
+Each gene mutates independently with probability ``rate``; the
+perturbation follows the polynomial distribution with index eta over
+the full gene range ``[0, m-1]``, then rounds and clips back to a valid
+server id.  With the Table III settings (rate 0.20, eta 15) mutations
+are frequent but mostly local.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import IntArray, SeedLike
+from repro.utils.rng import as_generator
+
+__all__ = ["polynomial_mutation"]
+
+
+def polynomial_mutation(
+    genomes: IntArray,
+    n_servers: int,
+    rate: float = 0.20,
+    eta: float = 15.0,
+    seed: SeedLike = None,
+) -> IntArray:
+    """Mutate a genome matrix in a single vectorized pass.
+
+    Parameters
+    ----------
+    genomes:
+        (pop, n) int matrix (not modified; a new matrix is returned).
+    n_servers:
+        Gene upper bound m (exclusive).
+    rate:
+        Per-gene mutation probability (Table III: 0.20).
+    eta:
+        Distribution index (Table III: 15).
+    """
+    genomes = np.asarray(genomes, dtype=np.int64)
+    if genomes.ndim != 2:
+        raise ValidationError(f"genomes must be 2-D, got {genomes.shape}")
+    if not (0.0 <= rate <= 1.0):
+        raise ValidationError(f"rate must lie in [0, 1], got {rate}")
+    if n_servers < 1:
+        raise ValidationError(f"n_servers must be >= 1, got {n_servers}")
+    rng = as_generator(seed)
+
+    if n_servers == 1:
+        return genomes.copy()
+
+    lo, hi = 0.0, float(n_servers - 1)
+    span = hi - lo
+    x = genomes.astype(np.float64)
+    mutate = rng.random(genomes.shape) < rate
+    u = rng.random(genomes.shape)
+
+    # Standard bounded polynomial mutation (Deb's delta-q formulation).
+    delta1 = (x - lo) / span
+    delta2 = (hi - x) / span
+    mut_pow = 1.0 / (eta + 1.0)
+    with np.errstate(invalid="ignore"):
+        below = u < 0.5
+        xy = np.where(below, 1.0 - delta1, 1.0 - delta2)
+        val = np.where(
+            below,
+            2.0 * u + (1.0 - 2.0 * u) * xy ** (eta + 1.0),
+            2.0 * (1.0 - u) + 2.0 * (u - 0.5) * xy ** (eta + 1.0),
+        )
+        deltaq = np.where(below, val**mut_pow - 1.0, 1.0 - val**mut_pow)
+
+    mutated = x + deltaq * span
+    out = np.where(mutate, mutated, x)
+    rounded = np.rint(out).astype(np.int64)
+    np.clip(rounded, 0, n_servers - 1, out=rounded)
+    return rounded

@@ -1,0 +1,86 @@
+"""Mating selection.
+
+NSGA-II uses the crowded binary tournament: prefer the lower
+(feasibility tier, Pareto rank); break ties with larger crowding
+distance.  NSGA-III's reference implementation selects parents at
+random (niching pressure lives entirely in survival selection), so it
+calls :func:`binary_tournament` with ``crowding=None`` and uniform
+ranks only when constraint tiers matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import FloatArray, IntArray, SeedLike
+from repro.utils.rng import as_generator
+
+__all__ = ["binary_tournament", "random_mating_pool"]
+
+
+def binary_tournament(
+    ranks: IntArray,
+    crowding: FloatArray | None,
+    n_parents: int,
+    tiers: IntArray | None = None,
+    seed: SeedLike = None,
+) -> IntArray:
+    """Indices of ``n_parents`` winners of independent binary tournaments.
+
+    Parameters
+    ----------
+    ranks:
+        (pop,) Pareto front index per individual (lower is better).
+    crowding:
+        (pop,) crowding distances (larger is better) or None to skip
+        the diversity tiebreak.
+    n_parents:
+        How many winners to draw (with replacement across tournaments).
+    tiers:
+        Optional feasibility tiers (0 = feasible); compared before
+        ranks when given.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    pop = ranks.shape[0]
+    if pop == 0:
+        raise ValidationError("cannot select from an empty population")
+    if n_parents < 1:
+        raise ValidationError(f"n_parents must be >= 1, got {n_parents}")
+    rng = as_generator(seed)
+
+    a = rng.integers(0, pop, size=n_parents)
+    b = rng.integers(0, pop, size=n_parents)
+
+    if tiers is not None:
+        tiers = np.asarray(tiers, dtype=np.int64)
+        a_better = tiers[a] < tiers[b]
+        b_better = tiers[b] < tiers[a]
+    else:
+        a_better = np.zeros(n_parents, dtype=bool)
+        b_better = np.zeros(n_parents, dtype=bool)
+
+    undecided = ~(a_better | b_better)
+    a_better |= undecided & (ranks[a] < ranks[b])
+    b_better |= undecided & (ranks[b] < ranks[a])
+
+    undecided = ~(a_better | b_better)
+    if crowding is not None and undecided.any():
+        crowding = np.asarray(crowding, dtype=np.float64)
+        a_better |= undecided & (crowding[a] > crowding[b])
+        b_better |= undecided & (crowding[b] > crowding[a])
+
+    undecided = ~(a_better | b_better)
+    coin = rng.random(n_parents) < 0.5
+    winners = np.where(a_better | (undecided & coin), a, b)
+    return winners.astype(np.int64)
+
+
+def random_mating_pool(pop: int, n_parents: int, seed: SeedLike = None) -> IntArray:
+    """Uniformly random parent indices (NSGA-III mating selection)."""
+    if pop < 1:
+        raise ValidationError("cannot select from an empty population")
+    if n_parents < 1:
+        raise ValidationError(f"n_parents must be >= 1, got {n_parents}")
+    rng = as_generator(seed)
+    return rng.integers(0, pop, size=n_parents, dtype=np.int64)

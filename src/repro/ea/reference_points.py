@@ -1,0 +1,167 @@
+"""NSGA-III reference-point machinery (Deb & Jain 2014).
+
+* :func:`das_dennis_points` — the structured simplex lattice of
+  reference directions.  For k objectives and p divisions it yields
+  C(k + p - 1, p) points; 3 objectives with 12 divisions → 91 points,
+  pairing naturally with the paper's population of 100.
+* :class:`ReferencePointNiching` — the NSGA-III environmental-selection
+  step: adaptive normalization of the merged population, association of
+  each individual with its nearest reference direction (perpendicular
+  distance), and niche-preserving selection from the partial front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import FloatArray, IntArray, SeedLike
+from repro.utils.rng import as_generator
+
+__all__ = ["das_dennis_points", "ReferencePointNiching"]
+
+
+def das_dennis_points(n_objectives: int, divisions: int) -> FloatArray:
+    """Structured reference points on the unit simplex.
+
+    Returns an array of shape (n_points, n_objectives) whose rows are
+    nonnegative and sum to 1.
+    """
+    if n_objectives < 2:
+        raise ValidationError(f"need >= 2 objectives, got {n_objectives}")
+    if divisions < 1:
+        raise ValidationError(f"need >= 1 division, got {divisions}")
+
+    points: list[list[float]] = []
+    partial = np.zeros(n_objectives)
+
+    def recurse(index: int, remaining: int) -> None:
+        if index == n_objectives - 1:
+            partial[index] = remaining / divisions
+            points.append(partial.copy().tolist())
+            return
+        for ticks in range(remaining + 1):
+            partial[index] = ticks / divisions
+            recurse(index + 1, remaining - ticks)
+
+    recurse(0, divisions)
+    return np.asarray(points, dtype=np.float64)
+
+
+class ReferencePointNiching:
+    """The NSGA-III niche-preserving selection operator.
+
+    Parameters
+    ----------
+    reference_points:
+        (r, k) simplex points from :func:`das_dennis_points`.
+    """
+
+    def __init__(self, reference_points: FloatArray) -> None:
+        ref = np.asarray(reference_points, dtype=np.float64)
+        if ref.ndim != 2:
+            raise ValidationError("reference points must be 2-D")
+        norms = np.linalg.norm(ref, axis=1)
+        if np.any(norms <= 0):
+            raise ValidationError("reference points must be nonzero")
+        self.reference_points = ref
+        self._directions = ref / norms[:, None]
+
+    @property
+    def n_points(self) -> int:
+        """Number of reference directions."""
+        return self.reference_points.shape[0]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def normalize(objectives: FloatArray) -> FloatArray:
+        """Adaptive normalization to [0, ~1] per objective.
+
+        The full achievement-scalarizing extreme-point construction of
+        the original paper degenerates on the small, noisy fronts seen
+        here; ideal/nadir min-max normalization is the standard robust
+        fallback and preserves the niching behaviour.
+        """
+        objectives = np.asarray(objectives, dtype=np.float64)
+        ideal = objectives.min(axis=0)
+        nadir = objectives.max(axis=0)
+        span = np.where(nadir - ideal > 1e-12, nadir - ideal, 1.0)
+        return (objectives - ideal) / span
+
+    def associate(self, normalized: FloatArray) -> tuple[IntArray, FloatArray]:
+        """Nearest reference direction and perpendicular distance per point."""
+        # Projection of each point onto each unit direction.
+        proj = normalized @ self._directions.T  # (pop, r)
+        # Squared perpendicular distance: |f|^2 - proj^2.
+        sq_norm = (normalized**2).sum(axis=1, keepdims=True)
+        perp_sq = np.maximum(0.0, sq_norm - proj**2)
+        nearest = perp_sq.argmin(axis=1).astype(np.int64)
+        distance = np.sqrt(perp_sq[np.arange(len(nearest)), nearest])
+        return nearest, distance
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        objectives: FloatArray,
+        confirmed: IntArray,
+        partial_front: IntArray,
+        n_select: int,
+        seed: SeedLike = None,
+    ) -> IntArray:
+        """Pick ``n_select`` members of ``partial_front`` by niching.
+
+        Parameters
+        ----------
+        objectives:
+            Objectives of the merged population (confirmed + partial).
+        confirmed:
+            Indices already chosen (fronts that fit entirely).
+        partial_front:
+            Indices of the front that must be split.
+        n_select:
+            How many of ``partial_front`` to keep.
+
+        Returns
+        -------
+        Indices (subset of ``partial_front``) of the selected members.
+        """
+        confirmed = np.asarray(confirmed, dtype=np.int64)
+        partial_front = np.asarray(partial_front, dtype=np.int64)
+        if n_select < 0 or n_select > partial_front.size:
+            raise ValidationError(
+                f"cannot select {n_select} from front of {partial_front.size}"
+            )
+        if n_select == 0:
+            return np.empty(0, dtype=np.int64)
+        if n_select == partial_front.size:
+            return partial_front.copy()
+
+        rng = as_generator(seed)
+        pool = np.concatenate([confirmed, partial_front])
+        normalized = self.normalize(objectives[pool])
+        nearest, distance = self.associate(normalized)
+
+        n_confirmed = confirmed.size
+        niche_count = np.bincount(nearest[:n_confirmed], minlength=self.n_points)
+        cand_niche = nearest[n_confirmed:]
+        cand_dist = distance[n_confirmed:]
+        available = np.ones(partial_front.size, dtype=bool)
+        chosen: list[int] = []
+
+        while len(chosen) < n_select:
+            # Niches that still have available candidates.
+            live = np.unique(cand_niche[available])
+            counts = niche_count[live]
+            minimal = live[counts == counts.min()]
+            niche = int(rng.choice(minimal))
+            members = np.flatnonzero(available & (cand_niche == niche))
+            if niche_count[niche] == 0:
+                # Empty niche: take the member closest to the direction.
+                pick = members[np.argmin(cand_dist[members])]
+            else:
+                pick = int(rng.choice(members))
+            chosen.append(int(partial_front[pick]))
+            available[pick] = False
+            niche_count[niche] += 1
+
+        return np.asarray(chosen, dtype=np.int64)

@@ -1,0 +1,78 @@
+"""Fast nondominated sorting (Deb et al. 2002) and constrained ordering.
+
+:func:`fast_non_dominated_sort` returns a rank per individual (0 = first
+Pareto front).  The pairwise dominance matrix is computed with one
+broadcast pass; the peeling loop then strips fronts by repeatedly
+removing individuals whose dominators are all already ranked.  For the
+population sizes involved (Table III: 100; merged parent+offspring:
+200) the O(N^2 M) broadcast beats any Python-level bookkeeping.
+
+:func:`constrained_sort_keys` implements Deb's feasibility-first
+comparison as a sortable key: feasible individuals always precede
+infeasible ones, infeasible ones order by total violations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray, IntArray
+from repro.utils.pareto import dominance_matrix
+
+__all__ = ["fast_non_dominated_sort", "constrained_sort_keys"]
+
+
+def fast_non_dominated_sort(objectives: FloatArray) -> IntArray:
+    """Rank individuals by Pareto front (0 = nondominated).
+
+    Parameters
+    ----------
+    objectives:
+        (pop, k) minimization matrix.
+
+    Returns
+    -------
+    (pop,) int array of front indices.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    pop = objectives.shape[0]
+    if pop == 0:
+        return np.empty(0, dtype=np.int64)
+    dom = dominance_matrix(objectives)  # dom[i, j]: i dominates j
+    dominators_left = dom.sum(axis=0).astype(np.int64)  # per column j
+    ranks = np.full(pop, -1, dtype=np.int64)
+    current = np.flatnonzero(dominators_left == 0)
+    front = 0
+    while current.size:
+        ranks[current] = front
+        # Removing the current front decrements the dominator counts of
+        # everything it dominates.
+        dominators_left -= dom[current].sum(axis=0)
+        dominators_left[current] = -1  # never re-selected
+        front += 1
+        current = np.flatnonzero(dominators_left == 0)
+    return ranks
+
+
+def constrained_sort_keys(
+    objectives: FloatArray, violations: IntArray
+) -> tuple[IntArray, IntArray]:
+    """Feasibility-first ranking inputs.
+
+    Returns ``(ranks, tiers)`` where ``tiers`` is 0 for feasible
+    individuals and ``1 + violations`` otherwise; survivor selection
+    sorts lexicographically by (tier, rank).  Feasible individuals are
+    Pareto-ranked among themselves; infeasible individuals all get the
+    rank of the worst feasible front + their violation tier, so a
+    repaired near-feasible individual still beats a badly violating one.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    violations = np.asarray(violations, dtype=np.int64)
+    pop = objectives.shape[0]
+    ranks = np.zeros(pop, dtype=np.int64)
+    feasible = violations == 0
+    if feasible.any():
+        idx = np.flatnonzero(feasible)
+        ranks[idx] = fast_non_dominated_sort(objectives[idx])
+    tiers = np.where(feasible, 0, 1 + violations).astype(np.int64)
+    return ranks, tiers

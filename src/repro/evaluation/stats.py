@@ -1,0 +1,150 @@
+"""Statistical comparison of algorithms across paired runs.
+
+The paper reports means over 100 runs; deciding whether "A rejects
+less than B" is real or noise needs uncertainty estimates.  Because
+the experiment runner gives every algorithm the *same* scenario
+stream, runs pair naturally by (sweep point, scenario seed), and the
+right tool is the paired bootstrap:
+
+* :func:`paired_differences` — align two record lists by scenario and
+  return the per-scenario metric differences;
+* :func:`bootstrap_ci` — percentile bootstrap confidence interval of
+  the mean of a sample;
+* :func:`compare_algorithms` — end-to-end: mean difference of a metric
+  between two algorithms in a sweep, with its CI and a significance
+  verdict (CI excludes zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.evaluation.metrics import RunRecord
+from repro.evaluation.runner import SweepResult
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import as_generator
+
+__all__ = ["paired_differences", "bootstrap_ci", "compare_algorithms", "Comparison"]
+
+_METRIC_GETTERS = {
+    "execution_time": lambda r: r.elapsed,
+    "rejection_rate": lambda r: r.rejection_rate,
+    "violations": lambda r: float(r.violations),
+    "provider_cost": lambda r: r.provider_cost,
+    "cost_per_request": lambda r: r.cost_per_accepted_request,
+}
+
+
+def paired_differences(
+    records_a: list[RunRecord],
+    records_b: list[RunRecord],
+    metric: str,
+) -> FloatArray:
+    """Per-scenario metric differences (A − B), paired by
+    (servers, vms, seed).  Raises when the pairing is incomplete."""
+    if metric not in _METRIC_GETTERS:
+        raise ValidationError(
+            f"unknown metric {metric!r}; choose from {sorted(_METRIC_GETTERS)}"
+        )
+    getter = _METRIC_GETTERS[metric]
+
+    def index(records: list[RunRecord]) -> dict:
+        table = {}
+        for record in records:
+            key = (record.servers, record.vms, record.seed)
+            if key in table:
+                raise ValidationError(f"duplicate record for scenario {key}")
+            table[key] = record
+        return table
+
+    a_by_key = index(records_a)
+    b_by_key = index(records_b)
+    if set(a_by_key) != set(b_by_key):
+        raise ValidationError(
+            "record sets cover different scenarios; pairing impossible"
+        )
+    keys = sorted(a_by_key)
+    return np.array([getter(a_by_key[k]) - getter(b_by_key[k]) for k in keys])
+
+
+def bootstrap_ci(
+    sample: FloatArray,
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+    seed: SeedLike = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI of the sample mean."""
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.size == 0:
+        raise ValidationError("cannot bootstrap an empty sample")
+    if not (0.0 < confidence < 1.0):
+        raise ValidationError(f"confidence must lie in (0, 1), got {confidence}")
+    rng = as_generator(seed)
+    idx = rng.integers(0, sample.size, size=(n_resamples, sample.size))
+    means = sample[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Result of one paired algorithm comparison."""
+
+    algorithm_a: str
+    algorithm_b: str
+    metric: str
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    n_pairs: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"{self.algorithm_a} - {self.algorithm_b} on {self.metric}: "
+            f"{self.mean_difference:+.4f} "
+            f"[{self.ci_low:+.4f}, {self.ci_high:+.4f}] ({verdict}, "
+            f"n={self.n_pairs})"
+        )
+
+
+def compare_algorithms(
+    result: SweepResult,
+    algorithm_a: str,
+    algorithm_b: str,
+    metric: str,
+    confidence: float = 0.95,
+    seed: SeedLike = 0,
+) -> Comparison:
+    """Paired bootstrap comparison of two algorithms in one sweep."""
+    records_a = [r for r in result.records if r.algorithm == algorithm_a]
+    records_b = [r for r in result.records if r.algorithm == algorithm_b]
+    if not records_a or not records_b:
+        raise ValidationError(
+            f"sweep lacks records for {algorithm_a!r} and/or {algorithm_b!r}"
+        )
+    diffs = paired_differences(records_a, records_b, metric)
+    finite = diffs[np.isfinite(diffs)]
+    if finite.size == 0:
+        raise ValidationError("no finite paired differences to compare")
+    ci_low, ci_high = bootstrap_ci(finite, confidence=confidence, seed=seed)
+    return Comparison(
+        algorithm_a=algorithm_a,
+        algorithm_b=algorithm_b,
+        metric=metric,
+        mean_difference=float(finite.mean()),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        n_pairs=int(finite.size),
+    )

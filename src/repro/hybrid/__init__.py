@@ -1,0 +1,29 @@
+"""Evolutionary allocators: the paper's contribution and its EA baselines.
+
+* :class:`NSGA2Allocator`, :class:`NSGA3Allocator` — the *unmodified*
+  evolutionary baselines (constraints ignored; Figure 10's violators).
+* :class:`NSGA3TabuAllocator` — **the proposed algorithm**: NSGA-III
+  whose infeasible individuals are repaired by the tabu search of
+  Figures 4-6.
+* :class:`NSGA3CPAllocator` — NSGA-III with the constraint-solver
+  repair ("NSGA with constraint solver" in the comparison).
+
+All wrap the same engine (:mod:`repro.ea`) with different constraint
+handlers, and optimize the whole window as one merged instance — the
+paper's "directly include all requests within a cyclic time window
+during the execution of the allocation optimization process".
+"""
+
+from repro.hybrid.nsga_allocators import (
+    NSGA2Allocator,
+    NSGA3Allocator,
+    NSGA3CPAllocator,
+    NSGA3TabuAllocator,
+)
+
+__all__ = [
+    "NSGA2Allocator",
+    "NSGA3Allocator",
+    "NSGA3TabuAllocator",
+    "NSGA3CPAllocator",
+]

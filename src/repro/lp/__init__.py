@@ -1,0 +1,20 @@
+"""Integer-linear-programming backend.
+
+Section III derives the allocation model "using a linear programming
+approach"; this package assembles that model — binary variables
+x_{k,j}, the capacity rows of Eq. 16, the assignment rows of Eq. 17
+and the (linearized, Eq. 13-14 in spirit) affinity/anti-affinity rows
+— into a sparse matrix form and solves it exactly with SciPy's HiGHS
+``milp`` backend.
+
+The exact solver serves two roles: the ground truth oracle for tests
+(CP and ILP must agree on feasibility and optimal cost of small
+instances) and the "how far from optimal is each heuristic?" yardstick
+in the evaluation harness.  Like any exact method it does not scale;
+instances are expected to stay small (n*m in the tens of thousands).
+"""
+
+from repro.lp.model import ILPModel
+from repro.lp.solve import ILPSolution, solve_ilp
+
+__all__ = ["ILPModel", "ILPSolution", "solve_ilp"]

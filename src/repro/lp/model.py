@@ -1,0 +1,202 @@
+"""Sparse assembly of the integer linear program of Section III.
+
+Decision variables are the binaries x_{k,j} ("requested resource k is
+hosted on server j"), flattened row-major as ``k * m + j``.  The
+datacenter index i of the paper's X_ijk is implied by the server→
+datacenter map, which keeps the variable count at n*m instead of
+g*m*n.  Rows produced:
+
+* assignment (Eq. 17): one equality per resource;
+* capacity (Eq. 16): one inequality per (server, attribute);
+* same-server (Eq. 10, linearized à la Eq. 13-14): per non-anchor
+  member and server, ``x_{k,j} - x_{k0,j} = 0``;
+* same-datacenter (Eq. 9): per non-anchor member and datacenter,
+  the datacenter-summed difference is zero;
+* different-servers (Eq. 12): per server, the group places at most one;
+* different-datacenters (Eq. 11): per datacenter, at most one.
+
+The objective is the literal Eq. 22: every hosted resource pays its
+server's E_j + U_j.  The nonlinear downtime term (Eq. 23-24) is not
+representable in an ILP and is deliberately omitted — the paper's own
+constraint-solver baseline has the same limitation, which is part of
+why the authors move to evolutionary search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import DimensionError
+from repro.model.infrastructure import Infrastructure
+from repro.model.request import Request
+from repro.types import FloatArray, PlacementRule
+
+__all__ = ["ILPModel"]
+
+
+@dataclass
+class ILPModel:
+    """The assembled sparse ILP.
+
+    Attributes
+    ----------
+    objective:
+        (n*m,) cost vector c with c[k*m+j] = E_j + U_j.
+    a_eq, b_eq:
+        Equality system A_eq @ x == b_eq.
+    a_ub, b_ub:
+        Inequality system A_ub @ x <= b_ub.
+    n, m:
+        Problem sizes (for decoding).
+    """
+
+    objective: FloatArray
+    a_eq: sparse.csr_matrix
+    b_eq: FloatArray
+    a_ub: sparse.csr_matrix
+    b_ub: FloatArray
+    n: int
+    m: int
+
+    @property
+    def n_variables(self) -> int:
+        """Total binary variables (n * m)."""
+        return self.n * self.m
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        infrastructure: Infrastructure,
+        request: Request,
+        base_usage: FloatArray | None = None,
+    ) -> "ILPModel":
+        """Assemble the model for one instance."""
+        n, m, h = request.n, infrastructure.m, infrastructure.h
+        if request.h != h:
+            raise DimensionError(
+                f"request has {request.h} attributes, infrastructure {h}"
+            )
+        nv = n * m
+
+        limit = infrastructure.effective_capacity
+        if base_usage is not None:
+            limit = limit - np.asarray(base_usage, dtype=np.float64)
+
+        # Objective: rate[j] per placed resource.
+        rate = infrastructure.operating_cost + infrastructure.usage_cost
+        objective = np.tile(rate, n)
+
+        eq_rows: list[sparse.coo_matrix] = []
+        eq_rhs: list[np.ndarray] = []
+        ub_rows: list[sparse.coo_matrix] = []
+        ub_rhs: list[np.ndarray] = []
+
+        # Assignment: sum_j x[k, j] == 1 for every k.
+        k_idx = np.repeat(np.arange(n), m)
+        cols = np.arange(nv)
+        assign = sparse.coo_matrix(
+            (np.ones(nv), (k_idx, cols)), shape=(n, nv)
+        )
+        eq_rows.append(assign)
+        eq_rhs.append(np.ones(n))
+
+        # Capacity: sum_k C[k, l] x[k, j] <= limit[j, l] per (j, l).
+        # Row index = j * h + l; column k*m+j carries C[k, l].
+        row_idx = np.empty(n * m * h, dtype=np.int64)
+        col_idx = np.empty(n * m * h, dtype=np.int64)
+        data = np.empty(n * m * h)
+        pos = 0
+        for l in range(h):
+            rows = (np.arange(m) * h + l)  # (m,)
+            row_block = np.tile(rows, n)  # k-major
+            col_block = np.arange(nv)
+            data_block = np.repeat(request.demand[:, l], m)
+            row_idx[pos : pos + nv] = row_block
+            col_idx[pos : pos + nv] = col_block
+            data[pos : pos + nv] = data_block
+            pos += nv
+        capacity = sparse.coo_matrix(
+            (data, (row_idx, col_idx)), shape=(m * h, nv)
+        )
+        ub_rows.append(capacity)
+        ub_rhs.append(limit.reshape(-1))
+
+        dc_of = infrastructure.server_datacenter
+        g = infrastructure.g
+
+        for group in request.groups:
+            members = list(group.members)
+            rule = group.rule
+            if rule is PlacementRule.SAME_SERVER:
+                anchor = members[0]
+                for k in members[1:]:
+                    rows = np.repeat(np.arange(m), 2)
+                    cols2 = np.empty(2 * m, dtype=np.int64)
+                    vals = np.empty(2 * m)
+                    cols2[0::2] = k * m + np.arange(m)
+                    vals[0::2] = 1.0
+                    cols2[1::2] = anchor * m + np.arange(m)
+                    vals[1::2] = -1.0
+                    eq_rows.append(
+                        sparse.coo_matrix((vals, (rows, cols2)), shape=(m, nv))
+                    )
+                    eq_rhs.append(np.zeros(m))
+            elif rule is PlacementRule.SAME_DATACENTER:
+                anchor = members[0]
+                for k in members[1:]:
+                    rows = np.concatenate([dc_of, dc_of])
+                    cols2 = np.concatenate(
+                        [k * m + np.arange(m), anchor * m + np.arange(m)]
+                    )
+                    vals = np.concatenate([np.ones(m), -np.ones(m)])
+                    eq_rows.append(
+                        sparse.coo_matrix((vals, (rows, cols2)), shape=(g, nv))
+                    )
+                    eq_rhs.append(np.zeros(g))
+            elif rule is PlacementRule.DIFFERENT_SERVERS:
+                rows = np.tile(np.arange(m), len(members))
+                cols2 = np.concatenate([k * m + np.arange(m) for k in members])
+                vals = np.ones(len(members) * m)
+                ub_rows.append(
+                    sparse.coo_matrix((vals, (rows, cols2)), shape=(m, nv))
+                )
+                ub_rhs.append(np.ones(m))
+            elif rule is PlacementRule.DIFFERENT_DATACENTERS:
+                rows = np.tile(dc_of, len(members))
+                cols2 = np.concatenate([k * m + np.arange(m) for k in members])
+                vals = np.ones(len(members) * m)
+                ub_rows.append(
+                    sparse.coo_matrix((vals, (rows, cols2)), shape=(g, nv))
+                )
+                ub_rhs.append(np.ones(g))
+
+        a_eq = sparse.vstack(eq_rows).tocsr()
+        b_eq = np.concatenate(eq_rhs)
+        a_ub = sparse.vstack(ub_rows).tocsr()
+        b_ub = np.concatenate(ub_rhs)
+        return cls(
+            objective=objective,
+            a_eq=a_eq,
+            b_eq=b_eq,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            n=n,
+            m=m,
+        )
+
+    # ------------------------------------------------------------------
+    def decode(self, x: FloatArray) -> np.ndarray:
+        """Turn a 0/1 solution vector into a flat genome."""
+        x = np.asarray(x, dtype=np.float64).reshape(self.n, self.m)
+        return np.argmax(x, axis=1).astype(np.int64)
+
+    def check(self, x: FloatArray, atol: float = 1e-6) -> bool:
+        """Verify a solution vector satisfies every row (test oracle)."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        eq_ok = np.allclose(self.a_eq @ x, self.b_eq, atol=atol)
+        ub_ok = bool(np.all(self.a_ub @ x <= self.b_ub + atol))
+        return eq_ok and ub_ok

@@ -1,0 +1,175 @@
+"""Individual resource objects: servers, datacenters, virtual resources.
+
+These are the ergonomic, record-style view of the model.  For
+computation the library flattens collections of them into the matrix
+form of :class:`~repro.model.infrastructure.Infrastructure` and
+:class:`~repro.model.request.Request`; the dataclasses here exist so
+examples and topology builders can speak in domain terms ("a rack of
+16 servers with 32 cores each") instead of raw matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.attributes import DEFAULT_ATTRIBUTES, AttributeSchema
+
+__all__ = ["Server", "Datacenter", "VirtualResource"]
+
+
+@dataclass
+class Server:
+    """A physical host (one row j of the provider matrices).
+
+    Parameters
+    ----------
+    capacity:
+        Attribute capacities ``P_j,:`` (Eq. 1), e.g. ``[32, 128, 2000]``
+        for 32 cores / 128 GiB RAM / 2 TB disk.
+    capacity_factor:
+        Virtual-to-physical overhead factors ``F_j,:`` (Eq. 3); the
+        usable fraction of each attribute once virtualization overhead
+        is paid.  1.0 means no overhead.
+    operating_cost:
+        ``E_j`` (Eq. 6): power, floor space, storage, IT operations.
+    usage_cost:
+        ``U_j`` (Eq. 7): per-hosted-resource usage cost.
+    max_load:
+        ``LM_j,:`` (Eq. 8): per-attribute load knee in [0, 1) beyond
+        which QoS degrades.
+    max_qos:
+        ``QM_j,:`` (Eq. 8): per-attribute best achievable QoS in [0, 1).
+    name:
+        Optional label for reporting.
+    """
+
+    capacity: Sequence[float]
+    capacity_factor: Sequence[float] | None = None
+    operating_cost: float = 1.0
+    usage_cost: float = 1.0
+    max_load: Sequence[float] | None = None
+    max_qos: Sequence[float] | None = None
+    name: str = ""
+    schema: AttributeSchema = field(default=DEFAULT_ATTRIBUTES)
+
+    def __post_init__(self) -> None:
+        h = self.schema.h
+        cap = np.asarray(self.capacity, dtype=np.float64)
+        if cap.shape != (h,):
+            raise ValidationError(
+                f"server capacity has shape {cap.shape}, schema expects ({h},)"
+            )
+        if np.any(cap < 0) or not np.all(np.isfinite(cap)):
+            raise ValidationError("server capacities must be finite and >= 0")
+        self.capacity = cap
+        if self.capacity_factor is None:
+            self.capacity_factor = np.ones(h)
+        else:
+            fac = np.asarray(self.capacity_factor, dtype=np.float64)
+            if fac.shape != (h,):
+                raise ValidationError(
+                    f"capacity_factor has shape {fac.shape}, expected ({h},)"
+                )
+            if np.any(fac <= 0) or np.any(fac > 1):
+                raise ValidationError("capacity factors must lie in (0, 1]")
+            self.capacity_factor = fac
+        if self.operating_cost < 0 or self.usage_cost < 0:
+            raise ValidationError("server costs must be >= 0")
+        self.max_load = self._fraction_field(self.max_load, 0.8, "max_load")
+        self.max_qos = self._fraction_field(self.max_qos, 0.99, "max_qos")
+
+    def _fraction_field(self, value, default: float, name: str) -> np.ndarray:
+        h = self.schema.h
+        if value is None:
+            return np.full(h, default)
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.shape != (h,):
+            raise ValidationError(f"{name} has shape {arr.shape}, expected ({h},)")
+        if np.any(arr < 0) or np.any(arr >= 1):
+            raise ValidationError(f"{name} values must lie in [0, 1)")
+        return arr
+
+    @property
+    def effective_capacity(self) -> np.ndarray:
+        """``P_j,: * F_j,:`` — the right-hand side of Eq. 4."""
+        return self.capacity * self.capacity_factor
+
+
+@dataclass
+class Datacenter:
+    """A named group of servers (one element i of the set G).
+
+    The spine-leaf topology layer attaches network structure; for the
+    allocation model a datacenter is just the affinity boundary used by
+    the SAME_DATACENTER / DIFFERENT_DATACENTERS rules.
+    """
+
+    servers: list[Server] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        schemas = {id(s.schema) for s in self.servers}
+        if self.servers:
+            first = self.servers[0].schema
+            for server in self.servers[1:]:
+                if server.schema.names != first.names:
+                    raise ValidationError(
+                        "all servers in a datacenter must share one attribute schema"
+                    )
+        del schemas
+
+    def add(self, server: Server) -> None:
+        """Append a server, enforcing schema consistency."""
+        if self.servers and server.schema.names != self.servers[0].schema.names:
+            raise ValidationError("server schema differs from datacenter schema")
+        self.servers.append(server)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+
+@dataclass
+class VirtualResource:
+    """A requested virtual resource (one row k of the consumer matrices).
+
+    Parameters
+    ----------
+    demand:
+        ``C_k,:`` (Eq. 2): requested capacity per attribute.
+    qos_guarantee:
+        ``C^Q_k``: the QoS level the provider promises, in (0, 1).
+    downtime_cost:
+        ``C^U_k``: penalty per unit of QoS shortfall (Eq. 23).
+    migration_cost:
+        ``M_k``: cost of moving this resource during reconfiguration
+        (Eq. 26).
+    name:
+        Optional label.
+    """
+
+    demand: Sequence[float]
+    qos_guarantee: float = 0.95
+    downtime_cost: float = 1.0
+    migration_cost: float = 1.0
+    name: str = ""
+    schema: AttributeSchema = field(default=DEFAULT_ATTRIBUTES)
+
+    def __post_init__(self) -> None:
+        dem = np.asarray(self.demand, dtype=np.float64)
+        if dem.shape != (self.schema.h,):
+            raise ValidationError(
+                f"demand has shape {dem.shape}, schema expects ({self.schema.h},)"
+            )
+        if np.any(dem < 0) or not np.all(np.isfinite(dem)):
+            raise ValidationError("demands must be finite and >= 0")
+        self.demand = dem
+        if not (0 < self.qos_guarantee <= 1):
+            raise ValidationError(
+                f"qos_guarantee must lie in (0, 1], got {self.qos_guarantee}"
+            )
+        if self.downtime_cost < 0 or self.migration_cost < 0:
+            raise ValidationError("costs must be >= 0")

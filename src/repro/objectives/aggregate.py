@@ -1,0 +1,88 @@
+"""Aggregation of the three objectives into Z (Eq. 15).
+
+The paper converts all objectives "to an equivalent monetary cost so
+they can be aggregated" and assigns them equal weights "without loss of
+generality ... that can otherwise be tuned and configured differently
+by the stakeholders".  :class:`ObjectiveVector` keeps the vector form
+(for Pareto work in NSGA) and :func:`aggregate_scalar` produces the
+weighted scalar Z used by single-point searches (tabu, CP branch &
+bound, ideal-point selection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.types import FloatArray, ObjectiveKind
+
+__all__ = ["ObjectiveVector", "aggregate_scalar", "OBJECTIVE_ORDER"]
+
+#: Fixed column order of objective matrices throughout the library.
+OBJECTIVE_ORDER: tuple[ObjectiveKind, ...] = (
+    ObjectiveKind.USAGE_AND_OPERATING_COST,
+    ObjectiveKind.DOWNTIME_COST,
+    ObjectiveKind.MIGRATION_COST,
+)
+
+
+@dataclass(frozen=True)
+class ObjectiveVector:
+    """One solution's objective values in OBJECTIVE_ORDER."""
+
+    usage_and_operating_cost: float
+    downtime_cost: float
+    migration_cost: float
+
+    def as_array(self) -> FloatArray:
+        """The (3,) float vector in canonical column order."""
+        return np.array(
+            [
+                self.usage_and_operating_cost,
+                self.downtime_cost,
+                self.migration_cost,
+            ]
+        )
+
+    @classmethod
+    def from_array(cls, values: FloatArray) -> "ObjectiveVector":
+        """Inverse of :meth:`as_array`."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (3,):
+            raise ValidationError(
+                f"objective vector must have shape (3,), got {values.shape}"
+            )
+        return cls(*(float(v) for v in values))
+
+    def aggregate(self, weights: FloatArray | None = None) -> float:
+        """The scalar Z of Eq. 15 (equal weights by default)."""
+        return float(aggregate_scalar(self.as_array(), weights))
+
+
+def aggregate_scalar(
+    objectives: FloatArray, weights: FloatArray | None = None
+) -> FloatArray:
+    """Weighted sum along the last axis (works on (3,) or (pop, 3)).
+
+    ``weights`` defaults to all-ones (the paper's equal weighting).
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    if objectives.shape[-1] != len(OBJECTIVE_ORDER):
+        raise ValidationError(
+            f"expected {len(OBJECTIVE_ORDER)} objective columns, "
+            f"got {objectives.shape[-1]}"
+        )
+    if weights is None:
+        weights = np.ones(len(OBJECTIVE_ORDER))
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(OBJECTIVE_ORDER),):
+            raise ValidationError(
+                f"weights must have shape ({len(OBJECTIVE_ORDER)},), "
+                f"got {weights.shape}"
+            )
+        if np.any(weights < 0):
+            raise ValidationError("weights must be >= 0")
+    return objectives @ weights

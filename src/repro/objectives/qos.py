@@ -1,0 +1,56 @@
+"""The load → quality-of-service model of Eq. 24 and Eq. 25.
+
+Empirical studies cited by the paper ([23], [24]) observe that hosted
+QoS "decreases exponentially with increasing workload"; Eq. 24 models
+that as a piecewise function with a knee at the maximum safe load::
+
+    Q_jl = QM_jl                              if L_jl <= LM_jl
+    Q_jl = QM_jl * exp((LM_jl - L_jl) / (1 - LM_jl))   otherwise
+
+Both functions here are pure ufunc-style transformations usable on any
+shape: a single server row, the full (m, h) matrix, or a population
+tensor (pop, m, h).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FloatArray
+
+__all__ = ["qos_from_load", "loads_from_usage"]
+
+
+def qos_from_load(
+    load: FloatArray, max_load: FloatArray, max_qos: FloatArray
+) -> FloatArray:
+    """Apply Eq. 24 element-wise.
+
+    Parameters broadcast against each other, so a (pop, m, h) load
+    tensor works against (m, h) knee/ceiling matrices.
+    """
+    load = np.asarray(load, dtype=np.float64)
+    max_load = np.asarray(max_load, dtype=np.float64)
+    max_qos = np.asarray(max_qos, dtype=np.float64)
+    if np.any(max_load >= 1) or np.any(max_load < 0):
+        raise ValueError("max_load must lie in [0, 1)")
+    overload = load > max_load
+    # exp argument is <= 0 in the overload branch, so decay only.
+    decay = np.exp(
+        np.minimum(0.0, (max_load - load) / (1.0 - max_load))
+    )
+    return np.where(overload, max_qos * decay, max_qos)
+
+
+def loads_from_usage(usage: FloatArray, capacity: FloatArray) -> FloatArray:
+    """Eq. 25: load = placed demand / capacity, element-wise.
+
+    Zero-capacity attributes report load 0 when unused and ``inf`` when
+    anything is placed on them (so the QoS branch collapses to ~0 and
+    the downtime objective punishes the placement).
+    """
+    usage = np.asarray(usage, dtype=np.float64)
+    capacity = np.asarray(capacity, dtype=np.float64)
+    safe = np.where(capacity > 0, capacity, 1.0)
+    load = usage / safe
+    return np.where((capacity <= 0) & (usage > 0), np.inf, load)

@@ -1,0 +1,97 @@
+"""Reconfiguration (migration) plans between successive allocations.
+
+Eq. 26 estimates the reconfiguration-plan size as the migration charge
+of every resource whose host changes between X^t and X^{t+1}.
+:func:`plan_migration` materializes the plan itself — the ordered list
+of moves with source/destination servers — so operators (and the
+scheduler example) can see *what* the estimate pays for, and
+:class:`MigrationPlan` totals the Eq. 26 cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.types import IntArray
+
+__all__ = ["MigrationPlan", "plan_migration"]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One resource relocation."""
+
+    resource: int
+    source: int
+    destination: int
+    cost: float
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """An ordered set of moves realizing X^t -> X^{t+1}."""
+
+    moves: tuple[Move, ...]
+    boots: tuple[int, ...]  # newly placed resources (no migration cost)
+    shutdowns: tuple[int, ...]  # resources leaving the platform
+
+    @property
+    def total_cost(self) -> float:
+        """The Eq. 26 sum over actual migrations."""
+        return float(sum(m.cost for m in self.moves))
+
+    @property
+    def size(self) -> int:
+        """Number of migrations (the plan-size estimate)."""
+        return len(self.moves)
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+
+def plan_migration(
+    previous: IntArray, new: IntArray, request: Request
+) -> MigrationPlan:
+    """Diff two assignments of the same request into a migration plan.
+
+    ``previous`` is X^t, ``new`` is X^{t+1}; both are flat genomes of
+    length request.n with :data:`UNPLACED` allowed.  A resource placed
+    in both but on different servers is a *move* (pays M_k); placed
+    only in ``new`` is a *boot*; placed only in ``previous`` is a
+    *shutdown*.
+    """
+    previous = np.asarray(previous, dtype=np.int64)
+    new = np.asarray(new, dtype=np.int64)
+    if previous.shape != (request.n,) or new.shape != (request.n,):
+        raise DimensionError(
+            f"assignments must have shape ({request.n},), got "
+            f"{previous.shape} and {new.shape}"
+        )
+    moves: list[Move] = []
+    boots: list[int] = []
+    shutdowns: list[int] = []
+    for k in range(request.n):
+        src, dst = int(previous[k]), int(new[k])
+        if src == UNPLACED and dst == UNPLACED:
+            continue
+        if src == UNPLACED:
+            boots.append(k)
+        elif dst == UNPLACED:
+            shutdowns.append(k)
+        elif src != dst:
+            moves.append(
+                Move(
+                    resource=k,
+                    source=src,
+                    destination=dst,
+                    cost=float(request.migration_cost[k]),
+                )
+            )
+    return MigrationPlan(
+        moves=tuple(moves), boots=tuple(boots), shutdowns=tuple(shutdowns)
+    )

@@ -1,0 +1,56 @@
+"""Aggregation of window reports into an operations summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.scheduler.window import WindowReport
+
+__all__ = ["SchedulerSummary", "summarize_reports"]
+
+
+@dataclass(frozen=True)
+class SchedulerSummary:
+    """Roll-up of a scheduler run (many windows)."""
+
+    windows: int
+    arrivals: int
+    accepted: int
+    rejected: int
+    departures: int
+    displaced: int
+    failures: int
+    recoveries: int
+    total_allocation_time: float
+
+    @property
+    def rejection_rate(self) -> float:
+        """Overall rejected / (accepted + rejected)."""
+        total = self.accepted + self.rejected
+        return self.rejected / total if total else 0.0
+
+
+def summarize_reports(reports: list[WindowReport]) -> SchedulerSummary:
+    """Fold per-window reports into one :class:`SchedulerSummary`.
+
+    Note: re-placements after a failure appear in ``accepted``/
+    ``rejected`` like any other window decision, so a displaced tenant
+    that lands again is counted twice in ``accepted`` — the summary
+    counts *decisions*, not distinct tenants.
+    """
+    if not reports:
+        raise ValidationError("cannot summarize zero reports")
+    return SchedulerSummary(
+        windows=len(reports),
+        arrivals=sum(len(r.arrivals) for r in reports),
+        accepted=sum(len(r.accepted) for r in reports),
+        rejected=sum(len(r.rejected) for r in reports),
+        departures=sum(len(r.departures) for r in reports),
+        displaced=sum(len(r.displaced) for r in reports),
+        failures=sum(len(r.failures) for r in reports),
+        recoveries=sum(len(r.recoveries) for r in reports),
+        total_allocation_time=sum(
+            r.outcome.elapsed for r in reports if r.outcome is not None
+        ),
+    )

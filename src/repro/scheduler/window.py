@@ -1,0 +1,307 @@
+"""The cyclic time-window scheduler.
+
+Operates exactly as Section III sketches: requests arriving during a
+window are batched; at the window boundary the batch is handed —
+together with the live platform state — to the configured allocation
+algorithm; accepted placements are committed (their capacity becomes
+unavailable to later windows) and rejected requests are reported.
+
+:meth:`TimeWindowScheduler.reoptimize` is the reconfiguration cycle:
+every hosted tenant is re-optimized as one instance with the current
+allocation as X^t, so the migration objective (Eq. 26) is live, and the
+resulting plan is applied atomically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.allocator import Allocator, BatchOutcome
+from repro.errors import SchedulerError
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import Placement
+from repro.model.request import Request
+from repro.model.placement import UNPLACED
+from repro.model.state import PlatformState
+from repro.scheduler.events import (
+    ArrivalEvent,
+    DepartureEvent,
+    EventQueue,
+    ServerFailureEvent,
+    ServerRecoveryEvent,
+)
+from repro.scheduler.reconfiguration import MigrationPlan, plan_migration
+
+__all__ = ["WindowReport", "TimeWindowScheduler"]
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """What happened in one scheduling window."""
+
+    window_index: int
+    start_time: float
+    end_time: float
+    arrivals: tuple[str, ...]
+    departures: tuple[str, ...]
+    accepted: tuple[str, ...]
+    rejected: tuple[str, ...]
+    outcome: BatchOutcome | None
+    failures: tuple[int, ...] = ()
+    recoveries: tuple[int, ...] = ()
+    displaced: tuple[str, ...] = ()
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of this window's arrivals that were rejected."""
+        total = len(self.accepted) + len(self.rejected)
+        return len(self.rejected) / total if total else 0.0
+
+
+@dataclass
+class TimeWindowScheduler:
+    """Batching scheduler over one infrastructure and one allocator."""
+
+    infrastructure: Infrastructure
+    allocator: Allocator
+    window_length: float = 1.0
+    state: PlatformState = field(init=False)
+    _queue: EventQueue = field(init=False, default_factory=EventQueue)
+    _requests: dict[str, Request] = field(init=False, default_factory=dict)
+    _clock: float = field(init=False, default=0.0)
+    _window_index: int = field(init=False, default=0)
+    _failed_servers: set[int] = field(init=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.window_length <= 0:
+            raise SchedulerError(
+                f"window_length must be > 0, got {self.window_length}"
+            )
+        self.state = PlatformState(self.infrastructure)
+
+    # ------------------------------------------------------------------
+    # Event submission
+    # ------------------------------------------------------------------
+    def submit(self, key: str, request: Request, at: float | None = None) -> None:
+        """Enqueue a consumer request (defaults to 'now')."""
+        if key in self._requests:
+            raise SchedulerError(f"request key {key!r} already submitted")
+        self._requests[key] = request
+        self._queue.push(
+            ArrivalEvent(
+                time=self._clock if at is None else at, key=key, request=request
+            )
+        )
+
+    def schedule_departure(self, key: str, at: float) -> None:
+        """Enqueue a future departure for a (to-be-)hosted request."""
+        self._queue.push(DepartureEvent(time=at, key=key))
+
+    def schedule_failure(self, server: int, at: float) -> None:
+        """Enqueue a server failure (the paper's platform flow events)."""
+        if not (0 <= server < self.infrastructure.m):
+            raise SchedulerError(
+                f"server {server} outside [0, {self.infrastructure.m})"
+            )
+        self._queue.push(ServerFailureEvent(time=at, server=server))
+
+    def schedule_recovery(self, server: int, at: float) -> None:
+        """Enqueue a server returning to service."""
+        if not (0 <= server < self.infrastructure.m):
+            raise SchedulerError(
+                f"server {server} outside [0, {self.infrastructure.m})"
+            )
+        self._queue.push(ServerRecoveryEvent(time=at, server=server))
+
+    @property
+    def failed_servers(self) -> frozenset[int]:
+        """Servers currently out of service."""
+        return frozenset(self._failed_servers)
+
+    @property
+    def clock(self) -> float:
+        """Current simulated time."""
+        return self._clock
+
+    @property
+    def pending_events(self) -> int:
+        """Events not yet processed."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Window processing
+    # ------------------------------------------------------------------
+    def _blocked_usage(self) -> np.ndarray:
+        """Committed usage plus full blocks on failed servers, so no
+        allocator can place anything on an out-of-service host."""
+        usage = self.state.snapshot_usage()
+        if self._failed_servers:
+            failed = sorted(self._failed_servers)
+            effective = self.infrastructure.effective_capacity
+            usage[failed] = np.maximum(usage[failed], effective[failed])
+        return usage
+
+    def _displace_tenants_on(self, server: int) -> list[tuple[str, Request, np.ndarray]]:
+        """Release every tenant touching ``server``; return their
+        (key, request, previous assignment) for re-placement.  Genes on
+        the failed server become UNPLACED in the previous assignment so
+        the forced move is not charged as a migration."""
+        displaced: list[tuple[str, Request, np.ndarray]] = []
+        for key in list(self.state.tenants()):
+            assignment = self.state.previous_assignment(key)
+            if assignment is None or not np.any(assignment == server):
+                continue
+            previous = assignment.copy()
+            previous[previous == server] = UNPLACED
+            self.state.release(key)
+            displaced.append((key, self._requests[key], previous))
+        return displaced
+
+    def run_window(self) -> WindowReport:
+        """Advance one window: drain events, allocate, commit."""
+        start = self._clock
+        self._clock += self.window_length
+        events = self._queue.pop_until(self._clock)
+
+        departures: list[str] = []
+        failures: list[int] = []
+        recoveries: list[int] = []
+        batch_keys: list[str] = []
+        batch_requests: list[Request] = []
+        batch_previous: list[np.ndarray | None] = []
+        displaced_keys: list[str] = []
+
+        for event in events:
+            if isinstance(event, DepartureEvent):
+                if event.key in self.state.tenants():
+                    self.state.release(event.key)
+                    departures.append(event.key)
+                # Departures of never-hosted (rejected) requests are
+                # silently dropped: there is nothing to release.
+            elif isinstance(event, ServerFailureEvent):
+                if event.server not in self._failed_servers:
+                    self._failed_servers.add(event.server)
+                    failures.append(event.server)
+                    for key, request, previous in self._displace_tenants_on(
+                        event.server
+                    ):
+                        batch_keys.append(key)
+                        batch_requests.append(request)
+                        batch_previous.append(previous)
+                        displaced_keys.append(key)
+            elif isinstance(event, ServerRecoveryEvent):
+                if event.server in self._failed_servers:
+                    self._failed_servers.discard(event.server)
+                    recoveries.append(event.server)
+            else:  # ArrivalEvent
+                batch_keys.append(event.key)
+                batch_requests.append(event.request)
+                batch_previous.append(None)
+
+        outcome: BatchOutcome | None = None
+        accepted: list[str] = []
+        rejected: list[str] = []
+        if batch_requests:
+            previous_assignment = None
+            if any(p is not None for p in batch_previous):
+                parts = [
+                    p if p is not None else np.full(r.n, UNPLACED, dtype=np.int64)
+                    for p, r in zip(batch_previous, batch_requests)
+                ]
+                previous_assignment = np.concatenate(parts)
+            outcome = self.allocator.allocate(
+                self.infrastructure,
+                batch_requests,
+                base_usage=self._blocked_usage(),
+                previous_assignment=previous_assignment,
+            )
+            offset = 0
+            for idx, (key, request) in enumerate(zip(batch_keys, batch_requests)):
+                block = outcome.assignment[offset : offset + request.n]
+                offset += request.n
+                if outcome.accepted[idx] and np.all(block >= 0):
+                    placement = Placement(
+                        assignment=block.copy(),
+                        infrastructure=self.infrastructure,
+                    )
+                    self.state.commit(key, placement, request)
+                    accepted.append(key)
+                else:
+                    rejected.append(key)
+
+        report = WindowReport(
+            window_index=self._window_index,
+            start_time=start,
+            end_time=self._clock,
+            arrivals=tuple(k for k in batch_keys if k not in displaced_keys),
+            departures=tuple(departures),
+            accepted=tuple(accepted),
+            rejected=tuple(rejected),
+            outcome=outcome,
+            failures=tuple(failures),
+            recoveries=tuple(recoveries),
+            displaced=tuple(displaced_keys),
+        )
+        self._window_index += 1
+        return report
+
+    def run(self, max_windows: int = 1_000) -> list[WindowReport]:
+        """Process windows until the event queue drains (or the cap)."""
+        reports: list[WindowReport] = []
+        while self._queue and len(reports) < max_windows:
+            reports.append(self.run_window())
+        return reports
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+    def reoptimize(
+        self, allocator: Allocator | None = None
+    ) -> tuple[BatchOutcome, MigrationPlan] | None:
+        """Re-optimize every hosted tenant as one instance (X^t → X^{t+1}).
+
+        The current allocation is passed as ``previous_assignment``, so
+        the migration objective is active and the optimizer trades
+        packing gains against movement cost.  Returns None when the
+        platform is empty.  The plan is applied only if the new
+        allocation is accepted for every tenant; otherwise the platform
+        is left untouched and the (outcome, plan) pair is still
+        returned for inspection.
+        """
+        tenants = self.state.tenants()
+        if not tenants:
+            return None
+        algo = allocator or self.allocator
+        requests = [self._requests[k] for k in tenants]
+        previous_parts = [self.state.previous_assignment(k) for k in tenants]
+        previous = np.concatenate(previous_parts)
+
+        # Tenants are re-placed from scratch, but failed servers stay
+        # blocked for the re-optimization too.
+        base_usage = None
+        if self._failed_servers:
+            base_usage = np.zeros_like(self.state.committed_usage)
+            failed = sorted(self._failed_servers)
+            base_usage[failed] = self.infrastructure.effective_capacity[failed]
+        outcome = algo.allocate(
+            self.infrastructure,
+            requests,
+            base_usage=base_usage,
+            previous_assignment=previous,
+        )
+        merged, _ = Request.concatenate(requests)
+        plan = plan_migration(previous, outcome.assignment, merged)
+
+        if bool(outcome.accepted.all()) and outcome.violations == 0:
+            offset = 0
+            for key, request in zip(tenants, requests):
+                block = outcome.assignment[offset : offset + request.n]
+                offset += request.n
+                placement = Placement(
+                    assignment=block.copy(), infrastructure=self.infrastructure
+                )
+                self.state.release(key)
+                self.state.commit(key, placement, request)
+        return outcome, plan

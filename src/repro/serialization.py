@@ -1,0 +1,217 @@
+"""JSON (de)serialization of model objects and results.
+
+Reproducibility tooling: scenarios, outcomes and run records can be
+written to disk, shared, and re-loaded bit-exactly — the artifact
+trail behind EXPERIMENTS.md.  Formats are plain JSON dictionaries with
+a ``"kind"`` tag and explicit array fields (lists of lists), so they
+are diffable and language-neutral.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.allocator import BatchOutcome
+from repro.errors import ValidationError
+from repro.evaluation.metrics import RunRecord
+from repro.model.attributes import AttributeSchema
+from repro.model.infrastructure import Infrastructure
+from repro.model.request import PlacementGroup, Request
+from repro.types import PlacementRule
+from repro.workloads.generator import Scenario, ScenarioSpec
+
+__all__ = [
+    "infrastructure_to_dict",
+    "infrastructure_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "outcome_to_dict",
+    "run_record_to_dict",
+    "run_record_from_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def _check_kind(data: dict, expected: str) -> None:
+    kind = data.get("kind")
+    if kind != expected:
+        raise ValidationError(f"expected kind={expected!r}, got {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Infrastructure
+# ----------------------------------------------------------------------
+def infrastructure_to_dict(infra: Infrastructure) -> dict[str, Any]:
+    """Serialize every Table I provider matrix."""
+    return {
+        "kind": "infrastructure",
+        "schema": {"names": list(infra.schema.names), "units": list(infra.schema.units)},
+        "capacity": infra.capacity.tolist(),
+        "capacity_factor": infra.capacity_factor.tolist(),
+        "operating_cost": infra.operating_cost.tolist(),
+        "usage_cost": infra.usage_cost.tolist(),
+        "max_load": infra.max_load.tolist(),
+        "max_qos": infra.max_qos.tolist(),
+        "server_datacenter": infra.server_datacenter.tolist(),
+        "datacenter_names": list(infra.datacenter_names),
+        "server_names": list(infra.server_names),
+    }
+
+
+def infrastructure_from_dict(data: dict[str, Any]) -> Infrastructure:
+    """Inverse of :func:`infrastructure_to_dict`."""
+    _check_kind(data, "infrastructure")
+    schema = AttributeSchema(
+        names=tuple(data["schema"]["names"]),
+        units=tuple(data["schema"].get("units", ())),
+    )
+    return Infrastructure(
+        capacity=np.asarray(data["capacity"], dtype=np.float64),
+        capacity_factor=np.asarray(data["capacity_factor"], dtype=np.float64),
+        operating_cost=np.asarray(data["operating_cost"], dtype=np.float64),
+        usage_cost=np.asarray(data["usage_cost"], dtype=np.float64),
+        max_load=np.asarray(data["max_load"], dtype=np.float64),
+        max_qos=np.asarray(data["max_qos"], dtype=np.float64),
+        server_datacenter=np.asarray(data["server_datacenter"], dtype=np.int64),
+        schema=schema,
+        datacenter_names=tuple(data.get("datacenter_names", ())),
+        server_names=tuple(data.get("server_names", ())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Request
+# ----------------------------------------------------------------------
+def request_to_dict(request: Request) -> dict[str, Any]:
+    """Serialize a consumer request including its placement rules."""
+    return {
+        "kind": "request",
+        "name": request.name,
+        "schema": {
+            "names": list(request.schema.names),
+            "units": list(request.schema.units),
+        },
+        "demand": request.demand.tolist(),
+        "qos_guarantee": request.qos_guarantee.tolist(),
+        "downtime_cost": request.downtime_cost.tolist(),
+        "migration_cost": request.migration_cost.tolist(),
+        "groups": [
+            {"rule": group.rule.value, "members": list(group.members)}
+            for group in request.groups
+        ],
+    }
+
+
+def request_from_dict(data: dict[str, Any]) -> Request:
+    """Inverse of :func:`request_to_dict`."""
+    _check_kind(data, "request")
+    schema = AttributeSchema(
+        names=tuple(data["schema"]["names"]),
+        units=tuple(data["schema"].get("units", ())),
+    )
+    groups = tuple(
+        PlacementGroup(
+            rule=PlacementRule(group["rule"]),
+            members=tuple(group["members"]),
+        )
+        for group in data.get("groups", [])
+    )
+    return Request(
+        demand=np.asarray(data["demand"], dtype=np.float64),
+        qos_guarantee=np.asarray(data["qos_guarantee"], dtype=np.float64),
+        downtime_cost=np.asarray(data["downtime_cost"], dtype=np.float64),
+        migration_cost=np.asarray(data["migration_cost"], dtype=np.float64),
+        groups=groups,
+        schema=schema,
+        name=data.get("name", ""),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """Serialize a whole generated scenario (estate + window + spec)."""
+    spec = scenario.spec
+    return {
+        "kind": "scenario",
+        "spec": {
+            "servers": spec.servers,
+            "datacenters": spec.datacenters,
+            "vms": spec.vms,
+            "max_request_size": spec.max_request_size,
+            "tightness": spec.tightness,
+            "heterogeneity": spec.heterogeneity,
+            "affinity_probability": spec.affinity_probability,
+            "max_vm_fraction": spec.max_vm_fraction,
+        },
+        "infrastructure": infrastructure_to_dict(scenario.infrastructure),
+        "requests": [request_to_dict(r) for r in scenario.requests],
+    }
+
+
+def scenario_from_dict(data: dict[str, Any]) -> Scenario:
+    """Inverse of :func:`scenario_to_dict`."""
+    _check_kind(data, "scenario")
+    infrastructure = infrastructure_from_dict(data["infrastructure"])
+    spec = ScenarioSpec(schema=infrastructure.schema, **data["spec"])
+    return Scenario(
+        infrastructure=infrastructure,
+        requests=[request_from_dict(r) for r in data["requests"]],
+        spec=spec,
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def outcome_to_dict(outcome: BatchOutcome) -> dict[str, Any]:
+    """Serialize an allocation outcome (one-way: outcomes reference no
+    infrastructure, so they reload as plain dictionaries)."""
+    return {
+        "kind": "outcome",
+        "algorithm": outcome.algorithm,
+        "assignment": outcome.assignment.tolist(),
+        "accepted": outcome.accepted.tolist(),
+        "violations": outcome.violations,
+        "violation_breakdown": dict(outcome.violation_breakdown),
+        "objectives": outcome.objectives.tolist(),
+        "elapsed": outcome.elapsed,
+        "evaluations": outcome.evaluations,
+        "rejection_rate": outcome.rejection_rate,
+        "provider_cost": outcome.provider_cost,
+    }
+
+
+def run_record_to_dict(record: RunRecord) -> dict[str, Any]:
+    """Serialize one evaluation-run record."""
+    return {"kind": "run_record", **record.__dict__}
+
+
+def run_record_from_dict(data: dict[str, Any]) -> RunRecord:
+    """Inverse of :func:`run_record_to_dict`."""
+    _check_kind(data, "run_record")
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    return RunRecord(**fields)
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def save_json(obj: dict[str, Any], path: str | Path) -> Path:
+    """Write a serialized dictionary to ``path`` (pretty-printed)."""
+    path = Path(path)
+    path.write_text(json.dumps(obj, indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a serialized dictionary back from ``path``."""
+    return json.loads(Path(path).read_text())

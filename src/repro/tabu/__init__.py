@@ -1,0 +1,17 @@
+"""Tabu-search layer: the paper's repair process and a standalone search.
+
+* :class:`TabuRepair` — the Fig. 5 ``Repair`` procedure: detect servers
+  whose constraints are exceeded, then move each virtual machine hosted
+  on an offending server to the nearest valid neighbour (Fig. 6),
+  keeping a tabu list so the walk does not revisit assignments.
+* :class:`NeighborFinder` — the Fig. 6 ``findNeighbor`` procedure plus
+  the affinity-aware candidate ordering.
+* :class:`TabuSearch` — a standalone tabu-search optimizer over whole
+  placements (used by ablations and as a non-EA point of comparison).
+"""
+
+from repro.tabu.neighborhood import NeighborFinder, TabuList
+from repro.tabu.repair import TabuRepair
+from repro.tabu.search import TabuSearch
+
+__all__ = ["NeighborFinder", "TabuList", "TabuRepair", "TabuSearch"]

@@ -1,0 +1,257 @@
+"""The tabu-search repair process (the paper's Figures 4-6).
+
+``Repair(I)`` scans an individual for servers whose constraints are
+exceeded (``exceedingDetection``) and re-hosts every VM found on an
+offending server via ``findNeighbor``.  We extend the scan to the
+affinity/anti-affinity groups — the paper checks "each constraint
+(capacities constraint, affinity and anti-affinity constraints)" during
+evaluation and repairs whatever is invalid.
+
+The repair runs for up to ``max_rounds`` full passes.  Every
+intermediate state is scored, and — following the paper's Euclidean
+rule ("we choose the solution that is found closer to the ideal point
+where cost and rejection rate are the next to naught") — the state
+returned is the one minimizing (violations, usage-cost) lexicographic
+distance to the ideal: zero violations first, cheapest placement among
+equals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.registry import ConstraintSet
+from repro.errors import ValidationError
+from repro.model.infrastructure import Infrastructure
+from repro.model.request import Request
+from repro.tabu.neighborhood import NeighborFinder, TabuList
+from repro.types import FloatArray, IntArray
+from repro.utils.rng import as_generator
+
+__all__ = ["TabuRepair"]
+
+
+class TabuRepair:
+    """Callable genome repairer; plugs into
+    :class:`~repro.ea.constraint_handling.RepairHandling`.
+
+    Parameters
+    ----------
+    infrastructure, request:
+        The problem instance.
+    base_usage:
+        Committed usage from earlier windows.
+    max_rounds:
+        Full repair passes per individual before giving up.
+    tenure:
+        Tabu-list tenure (forbidden (vm, server) pairs remembered).
+    order:
+        Neighbour preference passed to :class:`NeighborFinder`.
+    seed:
+        RNG for the ``"random"`` order and VM scan shuffling.
+    """
+
+    def __init__(
+        self,
+        infrastructure: Infrastructure,
+        request: Request,
+        base_usage: FloatArray | None = None,
+        max_rounds: int = 4,
+        tenure: int = 64,
+        order: str = "first",
+        allow_worsening_moves: bool = True,
+        seed=None,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.infrastructure = infrastructure
+        self.request = request
+        self.constraints = ConstraintSet(
+            infrastructure, request, base_usage=base_usage, include_assignment=False
+        )
+        self.finder = NeighborFinder(infrastructure, request, base_usage=base_usage)
+        self.max_rounds = int(max_rounds)
+        self.tenure = int(tenure)
+        self.order = order
+        self.allow_worsening_moves = bool(allow_worsening_moves)
+        self._rng = as_generator(seed)
+        # E + U per server: the cheap cost proxy for ideal-point scoring.
+        self._cost_rate = infrastructure.operating_cost + infrastructure.usage_cost
+        self.repaired_individuals = 0
+        self.moves_performed = 0
+
+    # ------------------------------------------------------------------
+    # Fast fault/score paths.  These reuse the usage matrix the repair
+    # loop maintains incrementally, and use Python sets for the tiny
+    # member-server collections (np.unique on 2-8 element arrays is the
+    # profiler-measured bottleneck otherwise).
+    # ------------------------------------------------------------------
+    def _group_violations(self, assignment: IntArray, group) -> int:
+        dc_of = self.infrastructure.server_datacenter
+        genes = [int(assignment[k]) for k in group.members if assignment[k] >= 0]
+        if len(genes) <= 1:
+            return 0
+        rule = group.rule
+        if rule.value == "same_server":
+            return len(set(genes)) - 1
+        if rule.value == "same_datacenter":
+            return len({int(dc_of[j]) for j in genes}) - 1
+        if rule.value == "different_servers":
+            return len(genes) - len(set(genes))
+        return len(genes) - len({int(dc_of[j]) for j in genes})
+
+    def _overloaded_servers(self, usage: FloatArray) -> IntArray:
+        capacity = self.constraints.capacity
+        over = usage > capacity.limit + capacity._slack
+        return np.flatnonzero(over.any(axis=1)).astype(np.int64)
+
+    def _faulty_vms(self, assignment: IntArray, usage: FloatArray) -> IntArray:
+        """VMs that must move: hosted on an overloaded server, or member
+        of a violated affinity/anti-affinity group (Fig. 5, line 2)."""
+        offenders = self._overloaded_servers(usage)
+        faulty = np.zeros(self.request.n, dtype=bool)
+        if offenders.size:
+            faulty |= np.isin(assignment, offenders)
+        for group in self.request.groups:
+            if self._group_violations(assignment, group) > 0:
+                faulty[list(group.members)] = True
+        return np.flatnonzero(faulty).astype(np.int64)
+
+    def _still_faulty(
+        self, vm: int, assignment: IntArray, usage: FloatArray
+    ) -> bool:
+        """Re-check one VM against the *current* state: earlier moves in
+        the same round may already have fixed its server or group, in
+        which case moving it too would overshoot (drain a server that
+        now fits, or split a group that just converged)."""
+        server = int(assignment[vm])
+        capacity = self.constraints.capacity
+        if np.any(usage[server] > capacity.limit[server] + capacity._slack[server]):
+            return True
+        for gi in self.finder._groups_of_vm[vm]:
+            if self._group_violations(assignment, self.request.groups[gi]) > 0:
+                return True
+        return False
+
+    def _score(
+        self, assignment: IntArray, usage: FloatArray
+    ) -> tuple[int, float]:
+        """(violations, usage cost) — the lexicographic ideal-point key."""
+        capacity = self.constraints.capacity
+        violations = int(
+            np.count_nonzero(usage > capacity.limit + capacity._slack)
+        )
+        for group in self.request.groups:
+            violations += self._group_violations(assignment, group)
+        cost = float(self._cost_rate[assignment[assignment >= 0]].sum())
+        return violations, cost
+
+    def _least_overflow_move(
+        self,
+        usage: FloatArray,
+        assignment: IntArray,
+        vm: int,
+        tabu: TabuList,
+    ) -> int | None:
+        """Worsening-tolerant tabu move: when no strictly valid server
+        exists, relocate to the server that adds the least capacity
+        overflow, preferring affinity-consistent targets.  This is what
+        lets the walk escape local optima instead of stalling, at the
+        price of temporarily shifted violations (bounded by the
+        best-state tracking in :meth:`repair_genome`)."""
+        demand = self.request.demand[vm]
+        limit = self.finder.limit
+        # Overflow added on each prospective target.
+        after = np.maximum(0.0, usage + demand[None, :] - limit)
+        before = np.maximum(0.0, usage - limit)
+        added = (after - before).sum(axis=1)
+        candidates = np.ones(limit.shape[0], dtype=bool)
+        candidates[assignment[vm]] = False
+        for server in tabu.forbidden_servers(vm):
+            candidates[server] = False
+        if not candidates.any():
+            return None
+        affinity_ok = self.finder.affinity_mask(assignment, vm) & candidates
+        pool = affinity_ok if affinity_ok.any() else candidates
+        idx = np.flatnonzero(pool)
+        return int(idx[np.argmin(added[idx])])
+
+    # ------------------------------------------------------------------
+    def repair_genome(self, assignment: IntArray) -> IntArray:
+        """Repair one genome (Fig. 5).  Returns a new array."""
+        assignment = np.asarray(assignment, dtype=np.int64).copy()
+        if self.constraints.is_feasible(assignment):
+            return assignment
+
+        self.repaired_individuals += 1
+        tabu = TabuList(tenure=self.tenure)
+        usage = self.constraints.capacity.server_usage(assignment)
+        best = assignment.copy()
+        best_score = self._score(assignment, usage)
+        stall_rounds = 0
+
+        grouped = np.zeros(self.request.n, dtype=bool)
+        for group in self.request.groups:
+            grouped[list(group.members)] = True
+
+        for _ in range(self.max_rounds):
+            faulty = self._faulty_vms(assignment, usage)
+            if faulty.size == 0:
+                break
+            # Shuffle, then visit ungrouped VMs first: moving them never
+            # perturbs an affinity rule, so capacity pressure drains off
+            # overloaded servers without collateral group damage.
+            self._rng.shuffle(faulty)
+            faulty = faulty[np.argsort(grouped[faulty], kind="stable")]
+            moved_any = False
+            for vm in faulty:
+                if not self._still_faulty(int(vm), assignment, usage):
+                    continue
+                target = self.finder.find(
+                    usage,
+                    assignment,
+                    int(vm),
+                    tabu=tabu,
+                    order=self.order,
+                    rng=self._rng,
+                )
+                if target is None and self.allow_worsening_moves:
+                    target = self._least_overflow_move(
+                        usage, assignment, int(vm), tabu
+                    )
+                if target is None:
+                    continue  # findNeighbor fell through: leave the gene
+                old = int(assignment[vm])
+                demand = self.request.demand[vm]
+                usage[old] -= demand
+                usage[target] += demand
+                assignment[vm] = target
+                tabu.add(int(vm), old)
+                self.moves_performed += 1
+                moved_any = True
+            score = self._score(assignment, usage)
+            if score < best_score:
+                best_score = score
+                best = assignment.copy()
+                stall_rounds = 0
+            else:
+                stall_rounds += 1
+            if best_score[0] == 0:
+                break
+            if not moved_any or stall_rounds >= 3:
+                break  # stuck (no move, or three rounds without progress)
+        return best
+
+    # ------------------------------------------------------------------
+    def __call__(self, population: IntArray) -> IntArray:
+        """Repair a whole population matrix (infeasible rows only)."""
+        population = np.asarray(population, dtype=np.int64)
+        if population.ndim == 1:
+            return self.repair_genome(population)
+        feasible = self.constraints.batch_feasible(population)
+        if feasible.all():
+            return population
+        repaired = population.copy()
+        for i in np.flatnonzero(~feasible):
+            repaired[i] = self.repair_genome(population[i])
+        return repaired

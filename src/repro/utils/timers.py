@@ -1,0 +1,78 @@
+"""Wall-clock measurement helpers for the evaluation harness.
+
+Execution time is one of the paper's four comparison criteria
+(Figures 7 and 8), so timing is a first-class concern: every algorithm
+run is wrapped in a :class:`Stopwatch` and the elapsed seconds travel
+with the :class:`~repro.evaluation.metrics.AllocationOutcome`.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch", "format_duration"]
+
+
+class Stopwatch:
+    """A restartable monotonic stopwatch.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            run_algorithm()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the accumulated elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the stopwatch (also stops it)."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently accumulating time."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated seconds (includes the in-flight span when running)."""
+        if self._start is not None:
+            return self._elapsed + (time.perf_counter() - self._start)
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds as a human-readable string (``1.23 s``, ``45 ms``...)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {seconds}")
+    if seconds >= 60.0:
+        minutes, rem = divmod(seconds, 60.0)
+        return f"{int(minutes)} min {rem:.1f} s"
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"

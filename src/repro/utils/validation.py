@@ -1,0 +1,74 @@
+"""Argument validators shared across model constructors.
+
+The model layer carries many same-shaped matrices (P, C, F, loads,
+QoS); shape bugs there surface far away inside vectorized objective
+code, so constructors validate eagerly with precise error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DimensionError, ValidationError
+
+__all__ = [
+    "check_positive_int",
+    "check_nonnegative",
+    "check_fraction",
+    "check_shape",
+    "as_float_matrix",
+    "as_float_vector",
+]
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Require ``value`` to be an integer >= 1 and return it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_nonnegative(array: np.ndarray, name: str) -> None:
+    """Require every element of ``array`` to be finite and >= 0."""
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains non-finite values")
+    if np.any(array < 0):
+        raise ValidationError(f"{name} contains negative values")
+
+
+def check_fraction(array: np.ndarray, name: str, *, strict_upper: bool = True) -> None:
+    """Require every element to lie in ``[0, 1)`` (or ``[0, 1]``).
+
+    The load/QoS quantities of Eq. 8 are defined on ``[0, 1)``.
+    """
+    check_nonnegative(array, name)
+    upper_ok = np.all(array < 1) if strict_upper else np.all(array <= 1)
+    if not upper_ok:
+        bound = "< 1" if strict_upper else "<= 1"
+        raise ValidationError(f"{name} must be {bound} everywhere")
+
+
+def check_shape(array: np.ndarray, shape: Sequence[int], name: str) -> None:
+    """Require ``array.shape == tuple(shape)``."""
+    if array.shape != tuple(shape):
+        raise DimensionError(
+            f"{name} has shape {array.shape}, expected {tuple(shape)}"
+        )
+
+
+def as_float_matrix(data, rows: int, cols: int, name: str) -> np.ndarray:
+    """Convert to a C-contiguous float64 matrix of shape (rows, cols)."""
+    array = np.ascontiguousarray(data, dtype=np.float64)
+    check_shape(array, (rows, cols), name)
+    return array
+
+
+def as_float_vector(data, size: int, name: str) -> np.ndarray:
+    """Convert to a C-contiguous float64 vector of length ``size``."""
+    array = np.ascontiguousarray(data, dtype=np.float64)
+    check_shape(array, (size,), name)
+    return array

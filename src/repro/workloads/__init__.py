@@ -1,0 +1,36 @@
+"""Synthetic scenario generation.
+
+The paper evaluates on scenarios "randomly generated with parameter
+configurations that reflect typical infrastructure sizes and cloud
+provider practices", up to 800 servers and 1600 virtual machines.  The
+authors' generator is not published; :class:`ScenarioGenerator` is our
+documented substitute (see DESIGN.md substitutions): heterogeneous
+server capacities and costs, VM demands drawn from flavour-like size
+classes and scaled to a target *tightness* (fraction of estate capacity
+demanded), and affinity/anti-affinity rules sampled per request.
+
+:mod:`repro.workloads.profiles` pins the named size sweeps used by the
+figure benches.
+"""
+
+from repro.workloads.generator import Scenario, ScenarioGenerator, ScenarioSpec
+from repro.workloads.traces import Trace, TraceGenerator, TraceSpec
+from repro.workloads.profiles import (
+    FIG7_SIZES,
+    FIG8_SIZES,
+    scenario_spec_for_size,
+    sweep_specs,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioGenerator",
+    "ScenarioSpec",
+    "Trace",
+    "TraceGenerator",
+    "TraceSpec",
+    "FIG7_SIZES",
+    "FIG8_SIZES",
+    "scenario_spec_for_size",
+    "sweep_specs",
+]

@@ -1,0 +1,73 @@
+"""Named size sweeps pinning the paper's figure axes.
+
+The paper sweeps problem size up to 800 servers / 1600 virtual
+machines ("typical sizes that providers manage simultaneously as
+clusters or blocks"), with a "few resources" regime (Figure 7) and a
+"many resources" regime (Figure 8).  Each sweep point is
+(servers, vms); the 1:2 server:VM ratio matches the paper's largest
+configuration.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.workloads.generator import ScenarioSpec
+
+__all__ = ["FIG7_SIZES", "FIG8_SIZES", "scenario_spec_for_size", "sweep_specs"]
+
+#: Figure 7 regime — "few resources".
+FIG7_SIZES: tuple[tuple[int, int], ...] = (
+    (10, 20),
+    (20, 40),
+    (40, 80),
+    (80, 160),
+)
+
+#: Figure 8 regime — "many resources", up to the paper's 800/1600.
+FIG8_SIZES: tuple[tuple[int, int], ...] = (
+    (100, 200),
+    (200, 400),
+    (400, 800),
+    (800, 1600),
+)
+
+
+def scenario_spec_for_size(
+    servers: int,
+    vms: int,
+    *,
+    tightness: float = 0.75,
+    heterogeneity: float = 0.3,
+    affinity_probability: float = 0.6,
+    datacenters: int | None = None,
+) -> ScenarioSpec:
+    """The canonical spec for one sweep point.
+
+    Datacenter count defaults to a gentle square-root-ish growth with
+    estate size (2 DCs at 10-80 servers, 4 at hundreds), mirroring how
+    providers split clusters.
+    """
+    if servers < 1 or vms < 1:
+        raise ValidationError("servers and vms must be >= 1")
+    if datacenters is None:
+        datacenters = 2 if servers < 100 else 4
+    datacenters = min(datacenters, servers)
+    return ScenarioSpec(
+        servers=servers,
+        datacenters=datacenters,
+        vms=vms,
+        max_request_size=8,
+        tightness=tightness,
+        heterogeneity=heterogeneity,
+        affinity_probability=affinity_probability,
+    )
+
+
+def sweep_specs(
+    sizes: tuple[tuple[int, int], ...], **overrides
+) -> list[ScenarioSpec]:
+    """Specs for a whole sweep (Figure 7 or Figure 8 axis)."""
+    return [
+        scenario_spec_for_size(servers, vms, **overrides)
+        for servers, vms in sizes
+    ]

@@ -1,0 +1,85 @@
+"""Shared fixtures: small, fully understood problem instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import AttributeSchema, Infrastructure, PlacementGroup, Request
+from repro.types import PlacementRule
+
+
+@pytest.fixture
+def small_infra() -> Infrastructure:
+    """8 heterogeneous servers in 2 datacenters (4 + 4)."""
+    return Infrastructure(
+        capacity=np.array(
+            [
+                [16.0, 64.0, 500.0],
+                [16.0, 64.0, 500.0],
+                [32.0, 128.0, 1000.0],
+                [32.0, 128.0, 1000.0],
+                [16.0, 64.0, 500.0],
+                [16.0, 64.0, 500.0],
+                [32.0, 128.0, 1000.0],
+                [32.0, 128.0, 1000.0],
+            ]
+        ),
+        capacity_factor=np.full((8, 3), 0.95),
+        operating_cost=np.array([1.0, 1.0, 2.0, 2.0, 1.5, 1.5, 3.0, 3.0]),
+        usage_cost=np.array([0.5, 0.5, 1.0, 1.0, 0.75, 0.75, 1.5, 1.5]),
+        max_load=np.full((8, 3), 0.8),
+        max_qos=np.full((8, 3), 0.99),
+        server_datacenter=np.array([0, 0, 0, 0, 1, 1, 1, 1]),
+    )
+
+
+@pytest.fixture
+def small_request() -> Request:
+    """6 VMs with one rule of each flavour family."""
+    return Request(
+        demand=np.array(
+            [
+                [2.0, 8.0, 50.0],
+                [2.0, 8.0, 50.0],
+                [4.0, 16.0, 100.0],
+                [4.0, 16.0, 100.0],
+                [1.0, 4.0, 25.0],
+                [1.0, 4.0, 25.0],
+            ]
+        ),
+        qos_guarantee=np.full(6, 0.9),
+        downtime_cost=np.full(6, 5.0),
+        migration_cost=np.full(6, 2.0),
+        groups=(
+            PlacementGroup(PlacementRule.SAME_SERVER, (0, 1)),
+            PlacementGroup(PlacementRule.DIFFERENT_SERVERS, (2, 3)),
+        ),
+    )
+
+
+@pytest.fixture
+def tiny_infra() -> Infrastructure:
+    """2 identical servers in one datacenter — for hand-checkable math."""
+    return Infrastructure(
+        capacity=np.array([[10.0, 10.0], [10.0, 10.0]]),
+        capacity_factor=np.ones((2, 2)),
+        operating_cost=np.array([1.0, 2.0]),
+        usage_cost=np.array([0.5, 0.5]),
+        max_load=np.full((2, 2), 0.5),
+        max_qos=np.full((2, 2), 0.9),
+        server_datacenter=np.array([0, 0]),
+        schema=AttributeSchema(names=("cpu", "ram")),
+    )
+
+
+@pytest.fixture
+def tiny_request(tiny_infra) -> Request:
+    """2 VMs on the tiny infra, no groups."""
+    return Request(
+        demand=np.array([[4.0, 4.0], [4.0, 4.0]]),
+        qos_guarantee=np.array([0.8, 0.8]),
+        downtime_cost=np.array([10.0, 10.0]),
+        migration_cost=np.array([1.0, 3.0]),
+        schema=tiny_infra.schema,
+    )

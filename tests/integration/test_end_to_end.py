@@ -1,0 +1,148 @@
+"""Integration tests: all six paper algorithms on generated scenarios,
+with cross-solver agreement checks."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CPAllocator,
+    FirstFitAllocator,
+    NSGA2Allocator,
+    NSGA3Allocator,
+    NSGA3CPAllocator,
+    NSGA3TabuAllocator,
+    NSGAConfig,
+    RoundRobinAllocator,
+    ScenarioGenerator,
+    ScenarioSpec,
+    SearchLimits,
+    solve_ilp,
+)
+from repro.cp import CPSolver
+from repro.model import Request
+
+_FAST = NSGAConfig(population_size=20, max_evaluations=600, seed=0)
+
+PAPER_SIX = [
+    ("round_robin", lambda: RoundRobinAllocator()),
+    ("constraint_programming", lambda: CPAllocator(optimize=False)),
+    ("nsga2", lambda: NSGA2Allocator(_FAST)),
+    ("nsga3", lambda: NSGA3Allocator(_FAST)),
+    (
+        "nsga3_cp",
+        lambda: NSGA3CPAllocator(
+            _FAST, repair_limits=SearchLimits(max_nodes=500, time_limit=0.1)
+        ),
+    ),
+    ("nsga3_tabu", lambda: NSGA3TabuAllocator(_FAST)),
+]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    spec = ScenarioSpec(servers=20, datacenters=2, vms=40, tightness=0.55)
+    return ScenarioGenerator(spec, seed=9).generate()
+
+
+class TestAllSixAlgorithms:
+    @pytest.mark.parametrize("name,factory", PAPER_SIX)
+    def test_produces_valid_outcome(self, name, factory, scenario):
+        outcome = factory().allocate(scenario.infrastructure, scenario.requests)
+        assert outcome.algorithm == name
+        assert outcome.assignment.shape == (scenario.n_vms,)
+        assert 0.0 <= outcome.rejection_rate <= 1.0
+        assert outcome.violations >= 0
+        assert outcome.elapsed >= 0.0
+        assert np.all(outcome.objectives >= 0.0)
+
+    @pytest.mark.parametrize(
+        "name,factory",
+        [p for p in PAPER_SIX if p[0] in ("round_robin", "constraint_programming")],
+    )
+    def test_non_ea_never_violates(self, name, factory, scenario):
+        outcome = factory().allocate(scenario.infrastructure, scenario.requests)
+        assert outcome.violations == 0
+
+    def test_tabu_hybrid_beats_unmodified_on_violations(self, scenario):
+        tabu = NSGA3TabuAllocator(_FAST).allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        plain = NSGA3Allocator(_FAST).allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        assert tabu.violations <= plain.violations
+
+    def test_tabu_hybrid_feasible_on_comfortable_instance(self, scenario):
+        outcome = NSGA3TabuAllocator(_FAST).allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        assert outcome.violations == 0
+
+
+class TestExactSolverAgreement:
+    """CP and ILP are independent complete methods: they must agree."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_optimal_cost(self, seed):
+        spec = ScenarioSpec(
+            servers=6, datacenters=2, vms=8, tightness=0.5, max_request_size=4
+        )
+        scenario = ScenarioGenerator(spec, seed=seed).generate()
+        merged, _ = Request.concatenate(scenario.requests)
+        ilp = solve_ilp(scenario.infrastructure, merged, time_limit=60)
+        cp = CPSolver(
+            scenario.infrastructure,
+            merged,
+            limits=SearchLimits(max_nodes=500_000, time_limit=60),
+        ).optimize()
+        assert ilp.optimal and cp.proved and cp.found
+        assert ilp.cost == pytest.approx(cp.cost, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_feasibility_verdict(self, seed):
+        spec = ScenarioSpec(
+            servers=4, datacenters=2, vms=10, tightness=1.4, max_request_size=5
+        )
+        scenario = ScenarioGenerator(spec, seed=100 + seed).generate()
+        merged, _ = Request.concatenate(scenario.requests)
+        ilp = solve_ilp(scenario.infrastructure, merged, time_limit=60)
+        cp = CPSolver(
+            scenario.infrastructure,
+            merged,
+            limits=SearchLimits(max_nodes=500_000, time_limit=60),
+        ).find_feasible()
+        if not cp.proved:
+            pytest.skip("CP budget exhausted; verdicts not comparable")
+        assert cp.found == (not ilp.infeasible)
+
+
+class TestHeuristicsVsOptimal:
+    def test_cp_optimize_not_beaten_by_heuristics(self):
+        spec = ScenarioSpec(servers=8, datacenters=2, vms=12, tightness=0.5)
+        scenario = ScenarioGenerator(spec, seed=3).generate()
+        optimal = CPAllocator(optimize=True).allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        if optimal.rejection_rate > 0:
+            pytest.skip("instance not fully placeable; cost not comparable")
+        for factory in (FirstFitAllocator, RoundRobinAllocator):
+            heuristic = factory().allocate(
+                scenario.infrastructure, scenario.requests
+            )
+            if heuristic.rejection_rate == 0:
+                assert (
+                    optimal.provider_cost <= heuristic.provider_cost + 1e-6
+                ), factory.__name__
+
+
+class TestScale:
+    def test_tabu_hybrid_feasible_at_medium_scale(self):
+        """Even at reduced budget the hybrid must return a violation-free
+        placement at 100x200 (the final repair pass guarantees the last
+        mile that the evolutionary budget alone may leave undone)."""
+        spec = ScenarioSpec(servers=100, datacenters=4, vms=200, tightness=0.65)
+        scenario = ScenarioGenerator(spec, seed=2).generate()
+        outcome = NSGA3TabuAllocator(_FAST).allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        assert outcome.violations == 0

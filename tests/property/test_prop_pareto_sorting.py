@@ -1,0 +1,97 @@
+"""Property tests: Pareto dominance, nondominated sorting, crowding."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ea import crowding_distance, fast_non_dominated_sort
+from repro.utils.pareto import (
+    dominance_matrix,
+    dominates,
+    non_dominated_mask,
+    pareto_front_indices,
+)
+
+objective_matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 24), st.integers(2, 4)),
+    elements=st.floats(0, 100, allow_nan=False, width=32),
+)
+
+
+@given(objective_matrices)
+@settings(max_examples=60, deadline=None)
+def test_dominance_is_irreflexive_and_antisymmetric(objs):
+    dom = dominance_matrix(objs)
+    assert not dom.diagonal().any()
+    assert not (dom & dom.T).any()
+
+
+@given(objective_matrices)
+@settings(max_examples=60, deadline=None)
+def test_front_zero_is_exactly_the_nondominated_set(objs):
+    ranks = fast_non_dominated_sort(objs)
+    mask = non_dominated_mask(objs)
+    assert np.array_equal(ranks == 0, mask)
+
+
+@given(objective_matrices)
+@settings(max_examples=60, deadline=None)
+def test_ranks_are_contiguous_from_zero(objs):
+    ranks = fast_non_dominated_sort(objs)
+    present = np.unique(ranks)
+    assert present.tolist() == list(range(present.size))
+
+
+@given(objective_matrices)
+@settings(max_examples=40, deadline=None)
+def test_no_dominance_within_a_front(objs):
+    ranks = fast_non_dominated_sort(objs)
+    for front_id in np.unique(ranks):
+        members = np.flatnonzero(ranks == front_id)
+        for i in members:
+            for j in members:
+                assert not dominates(objs[i], objs[j])
+
+
+@given(objective_matrices)
+@settings(max_examples=40, deadline=None)
+def test_dominator_always_in_earlier_front(objs):
+    ranks = fast_non_dominated_sort(objs)
+    dom = dominance_matrix(objs)
+    rows, cols = np.nonzero(dom)
+    for i, j in zip(rows, cols):
+        assert ranks[i] < ranks[j]
+
+
+@given(objective_matrices)
+@settings(max_examples=60, deadline=None)
+def test_pareto_front_invariant_under_duplication(objs):
+    front = set(pareto_front_indices(objs).tolist())
+    doubled = np.vstack([objs, objs])
+    front2 = pareto_front_indices(doubled)
+    # Every original front index must stay nondominated after doubling.
+    assert front <= set(front2.tolist())
+
+
+@given(objective_matrices)
+@settings(max_examples=60, deadline=None)
+def test_crowding_distance_nonnegative_and_boundary_infinite(objs):
+    distance = crowding_distance(objs)
+    assert np.all(distance >= 0)
+    if objs.shape[0] >= 2:
+        for col in range(objs.shape[1]):
+            order = np.argsort(objs[:, col], kind="stable")
+            assert np.isinf(distance[order[0]])
+            assert np.isinf(distance[order[-1]])
+
+
+@given(objective_matrices)
+@settings(max_examples=60, deadline=None)
+def test_crowding_invariant_to_objective_scaling(objs):
+    scaled = objs * np.array([10.0] * objs.shape[1])
+    base = crowding_distance(objs)
+    after = crowding_distance(scaled)
+    finite = np.isfinite(base) & np.isfinite(after)
+    assert np.allclose(base[finite], after[finite], rtol=1e-9, atol=1e-12)

@@ -1,0 +1,84 @@
+"""Property tests: serialization round-trips on arbitrary instances,
+and archive invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ea import ParetoArchive
+from repro.serialization import (
+    infrastructure_from_dict,
+    infrastructure_to_dict,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.utils.pareto import non_dominated_mask
+
+from tests.property.test_prop_constraints_objectives import instances
+
+
+@given(instances())
+@settings(max_examples=30, deadline=None)
+def test_instance_roundtrip_bitexact(instance):
+    infra, request = instance
+    infra_back = infrastructure_from_dict(infrastructure_to_dict(infra))
+    assert np.array_equal(infra_back.capacity, infra.capacity)
+    assert np.array_equal(infra_back.capacity_factor, infra.capacity_factor)
+    assert np.array_equal(infra_back.operating_cost, infra.operating_cost)
+    assert np.array_equal(infra_back.usage_cost, infra.usage_cost)
+    assert np.array_equal(infra_back.max_load, infra.max_load)
+    assert np.array_equal(infra_back.max_qos, infra.max_qos)
+    assert np.array_equal(infra_back.server_datacenter, infra.server_datacenter)
+    assert infra_back.schema.names == infra.schema.names
+
+    request_back = request_from_dict(request_to_dict(request))
+    assert np.array_equal(request_back.demand, request.demand)
+    assert np.array_equal(request_back.qos_guarantee, request.qos_guarantee)
+    assert np.array_equal(request_back.downtime_cost, request.downtime_cost)
+    assert np.array_equal(request_back.migration_cost, request.migration_cost)
+    assert request_back.groups == request.groups
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False, width=32),
+            st.floats(0, 100, allow_nan=False, width=32),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(2, 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_archive_always_mutually_nondominated(points, capacity):
+    archive = ParetoArchive(capacity=capacity)
+    for i, (x, y) in enumerate(points):
+        archive.add(np.array([i]), np.array([x, y]))
+    assert len(archive) <= capacity
+    if len(archive):
+        objs = archive.objectives
+        assert non_dominated_mask(objs).all()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False, width=32),
+            st.floats(0, 100, allow_nan=False, width=32),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_archive_keeps_global_minima(points):
+    """Whatever arrives, the per-objective minima always survive an
+    unbounded archive."""
+    archive = ParetoArchive(capacity=1000)
+    for i, (x, y) in enumerate(points):
+        archive.add(np.array([i]), np.array([x, y]))
+    objs = archive.objectives
+    arr = np.asarray(points)
+    assert objs[:, 0].min() == arr[:, 0].min()
+    assert objs[:, 1].min() == arr[:, 1].min()

@@ -1,0 +1,101 @@
+"""Property tests: platform-state ledger and migration-plan invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Placement, PlatformState
+from repro.model.placement import UNPLACED
+from repro.scheduler import plan_migration
+
+from tests.property.test_prop_constraints_objectives import instances
+
+
+@given(instances(), st.integers(0, 2**31 - 1), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_commit_release_cancel_out(instance, seed, tenants):
+    infra, request = instance
+    rng = np.random.default_rng(seed)
+    state = PlatformState(infra)
+    keys = []
+    for t in range(tenants):
+        assignment = rng.integers(0, infra.m, size=request.n)
+        placement = Placement(assignment=assignment, infrastructure=infra)
+        state.commit(f"t{t}", placement, request)
+        keys.append(f"t{t}")
+    state.verify_consistency()
+    rng.shuffle(keys)
+    for key in keys:
+        state.release(key)
+    assert np.allclose(state.committed_usage, 0.0, atol=1e-9)
+    assert state.tenants() == ()
+
+
+@given(instances(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_release_order_independent(instance, seed):
+    infra, request = instance
+    rng = np.random.default_rng(seed)
+
+    def build(order):
+        state = PlatformState(infra)
+        local = np.random.default_rng(seed)
+        placements = {
+            f"t{t}": Placement(
+                assignment=local.integers(0, infra.m, size=request.n),
+                infrastructure=infra,
+            )
+            for t in range(4)
+        }
+        for key, placement in placements.items():
+            state.commit(key, placement, request)
+        for key in order:
+            state.release(key)
+        return state.committed_usage.copy()
+
+    a = build(["t0", "t2"])
+    b = build(["t2", "t0"])
+    assert np.allclose(a, b, atol=1e-9)
+
+
+@given(instances(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_migration_plan_partition(instance, seed):
+    """Every resource is classified exactly once (move/boot/shutdown/stay)."""
+    infra, request = instance
+    rng = np.random.default_rng(seed)
+    previous = rng.integers(0, infra.m, size=request.n)
+    new = rng.integers(0, infra.m, size=request.n)
+    previous[rng.random(request.n) < 0.2] = UNPLACED
+    new[rng.random(request.n) < 0.2] = UNPLACED
+    plan = plan_migration(previous, new, request)
+
+    moved = {m.resource for m in plan.moves}
+    boots = set(plan.boots)
+    downs = set(plan.shutdowns)
+    assert not (moved & boots) and not (moved & downs) and not (boots & downs)
+    stayed = set(range(request.n)) - moved - boots - downs
+    for k in stayed:
+        assert previous[k] == new[k] or (
+            previous[k] == UNPLACED and new[k] == UNPLACED
+        )
+    # Eq. 26: total cost equals the sum of moved resources' charges
+    # (tolerance: summation order differs between the two paths).
+    expect = request.migration_cost[sorted(moved)].sum() if moved else 0.0
+    assert abs(plan.total_cost - float(expect)) < 1e-9 * (1.0 + abs(expect))
+
+
+@given(instances(), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_migration_plan_symmetry(instance, seed):
+    """Reversing the diff preserves the move count (sources/destinations
+    swap, boots and shutdowns exchange roles)."""
+    infra, request = instance
+    rng = np.random.default_rng(seed)
+    previous = rng.integers(0, infra.m, size=request.n)
+    new = rng.integers(0, infra.m, size=request.n)
+    forward = plan_migration(previous, new, request)
+    backward = plan_migration(new, previous, request)
+    assert forward.size == backward.size
+    assert set(forward.boots) == set(backward.shutdowns)
+    assert set(forward.shutdowns) == set(backward.boots)

@@ -1,0 +1,183 @@
+"""Unit tests for placement analytics, CSV export and the group-aware
+crossover."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    datacenter_utilization,
+    fragmentation,
+    placement_report,
+    qos_headroom,
+)
+from repro.baselines import BestFitAllocator, WorstFitAllocator
+from repro.constraints import ConstraintSet
+from repro.ea.operators import group_block_crossover
+from repro.errors import ValidationError
+from repro.evaluation import ExperimentRunner, SweepResult
+from repro.model import Request
+from repro.model.placement import UNPLACED
+from repro.workloads import ScenarioGenerator, ScenarioSpec
+
+
+class TestDatacenterUtilization:
+    def test_balanced_split(self, small_infra, small_request):
+        # Three VMs in each datacenter on same-sized servers.
+        assignment = np.array([0, 1, 2, 4, 5, 6])
+        utilization, imbalance = datacenter_utilization(
+            assignment, small_infra, small_request.demand
+        )
+        assert utilization.shape == (2, 3)
+        assert imbalance >= 0
+
+    def test_one_sided_placement_maximizes_imbalance(
+        self, small_infra, small_request
+    ):
+        lopsided = np.array([0, 0, 1, 2, 3, 0])  # everything in dc0
+        _, imbalance_lop = datacenter_utilization(
+            lopsided, small_infra, small_request.demand
+        )
+        spread = np.array([0, 0, 2, 4, 5, 6])
+        _, imbalance_spread = datacenter_utilization(
+            spread, small_infra, small_request.demand
+        )
+        assert imbalance_lop > imbalance_spread
+
+    def test_unplaced_contribute_nothing(self, small_infra, small_request):
+        empty = np.full(small_request.n, UNPLACED, dtype=np.int64)
+        utilization, imbalance = datacenter_utilization(
+            empty, small_infra, small_request.demand
+        )
+        assert np.allclose(utilization, 0.0)
+        assert imbalance == 0.0
+
+
+class TestFragmentation:
+    def test_empty_estate_not_fragmented(self, small_infra, small_request):
+        empty = np.full(small_request.n, UNPLACED, dtype=np.int64)
+        assert fragmentation(empty, small_infra, small_request.demand) == 0.0
+
+    def test_in_unit_interval(self, small_infra, small_request):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            genome = rng.integers(0, small_infra.m, size=small_request.n)
+            value = fragmentation(genome, small_infra, small_request.demand)
+            assert 0.0 <= value <= 1.0
+
+    def test_spreading_keeps_chunks_usable_at_low_tightness(self):
+        """At comfortable load, spreading leaves every server with room
+        for another average VM (fragmentation 0), while packing leaves
+        small unusable leftovers on the filled servers."""
+        spec = ScenarioSpec(
+            servers=16, datacenters=2, vms=40, tightness=0.45, heterogeneity=0.0
+        )
+        scenario = ScenarioGenerator(spec, seed=8).generate()
+        merged, _ = Request.concatenate(scenario.requests)
+        packed = BestFitAllocator().allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        spread = WorstFitAllocator().allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        frag_packed = fragmentation(
+            packed.assignment, scenario.infrastructure, merged.demand
+        )
+        frag_spread = fragmentation(
+            spread.assignment, scenario.infrastructure, merged.demand
+        )
+        assert frag_spread == 0.0
+        assert frag_packed >= frag_spread
+
+
+class TestQosHeadroom:
+    def test_negative_past_knee(self, tiny_infra, tiny_request):
+        both_on_zero = np.array([0, 0])  # load 0.8 > knee 0.5
+        headroom = qos_headroom(both_on_zero, tiny_infra, tiny_request)
+        assert headroom[0] < 0
+        assert headroom[1] == pytest.approx(0.5)  # idle server: LM - 0
+
+    def test_report_bundle(self, small_infra, small_request):
+        report = placement_report(
+            np.array([0, 0, 2, 3, 4, 5]), small_infra, small_request
+        )
+        assert report.unplaced == 0
+        assert report.servers_past_knee >= 0
+        assert 0.0 <= report.fragmentation <= 1.0
+
+
+class TestSweepCsv:
+    def test_roundtrip(self, tmp_path):
+        from repro.baselines import FirstFitAllocator
+
+        runner = ExperimentRunner({"ff": FirstFitAllocator}, runs=2, seed=0)
+        result = runner.run_sweep([ScenarioSpec(servers=10, vms=20)])
+        path = result.to_csv(tmp_path / "sweep.csv")
+        back = SweepResult.from_csv(path)
+        assert len(back.records) == len(result.records)
+        assert back.records[0] == result.records[0]
+        assert back.series("rejection_rate") == result.series("rejection_rate")
+
+
+class TestGroupBlockCrossover:
+    def test_groups_inherited_atomically(self, small_request):
+        rng = np.random.default_rng(0)
+        parents = rng.integers(0, 8, size=(40, small_request.n))
+        children = group_block_crossover(parents, small_request, rate=1.0, seed=1)
+        # For each child and each group, the member genes must all come
+        # from the same parent of its pair.
+        for pair in range(20):
+            p1, p2 = parents[2 * pair], parents[2 * pair + 1]
+            for child in (children[2 * pair], children[2 * pair + 1]):
+                for group in small_request.groups:
+                    idx = list(group.members)
+                    from_p1 = np.array_equal(child[idx], p1[idx])
+                    from_p2 = np.array_equal(child[idx], p2[idx])
+                    assert from_p1 or from_p2
+
+    def test_gene_conservation_per_pair(self, small_request):
+        rng = np.random.default_rng(1)
+        parents = rng.integers(0, 8, size=(10, small_request.n))
+        children = group_block_crossover(parents, small_request, rate=1.0, seed=2)
+        for pair in range(5):
+            p = np.sort(parents[2 * pair : 2 * pair + 2], axis=0)
+            c = np.sort(children[2 * pair : 2 * pair + 2], axis=0)
+            assert np.array_equal(p, c)
+
+    def test_preserves_parent_feasibility_structure(
+        self, small_infra, small_request
+    ):
+        """Crossing two rule-consistent parents yields rule-consistent
+        children (capacity aside) — the operator's whole point."""
+        constraint_set = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        )
+        # Two feasible parents.
+        parents = np.array(
+            [[0, 0, 2, 3, 4, 5], [6, 6, 1, 7, 2, 3]], dtype=np.int64
+        )
+        for genome in parents:
+            assert constraint_set.violations(genome) == 0
+        children = group_block_crossover(
+            np.vstack([parents] * 10), small_request, rate=1.0, seed=3
+        )
+        group_constraints = constraint_set.group_constraints
+        for child in children:
+            for constraint in group_constraints:
+                assert constraint.violations(child) == 0
+
+    def test_rate_zero_identity(self, small_request):
+        parents = np.random.default_rng(2).integers(
+            0, 8, size=(6, small_request.n)
+        )
+        children = group_block_crossover(parents, small_request, rate=0.0, seed=4)
+        assert np.array_equal(children, parents)
+
+    def test_validation(self, small_request):
+        with pytest.raises(ValidationError):
+            group_block_crossover(
+                np.zeros((3, small_request.n), dtype=np.int64), small_request
+            )
+        with pytest.raises(ValidationError):
+            group_block_crossover(
+                np.zeros((2, 3), dtype=np.int64), small_request
+            )

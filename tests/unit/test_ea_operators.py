@@ -1,0 +1,135 @@
+"""Unit tests for genetic operators: SBX, PM, discrete pair, selection."""
+
+import numpy as np
+import pytest
+
+from repro.ea.operators import (
+    binary_tournament,
+    polynomial_mutation,
+    random_reset_mutation,
+    sbx_crossover,
+    uniform_crossover,
+)
+from repro.ea.operators.selection import random_mating_pool
+from repro.errors import ValidationError
+
+
+class TestSBX:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        parents = rng.integers(0, 20, size=(40, 15))
+        children = sbx_crossover(parents, n_servers=20, seed=1)
+        assert children.shape == parents.shape
+        assert children.min() >= 0 and children.max() < 20
+
+    def test_rate_zero_is_identity(self):
+        parents = np.random.default_rng(1).integers(0, 9, size=(10, 6))
+        children = sbx_crossover(parents, n_servers=9, rate=0.0, seed=2)
+        assert np.array_equal(children, parents)
+
+    def test_identical_parents_yield_identical_children(self):
+        parents = np.tile(np.arange(8), (4, 1))
+        children = sbx_crossover(parents, n_servers=8, rate=1.0, seed=3)
+        assert np.array_equal(children, parents)
+
+    def test_high_eta_keeps_children_near_parents(self):
+        parents = np.array([[0] * 50, [10] * 50]).astype(np.int64)
+        children = sbx_crossover(parents, n_servers=100, rate=1.0, eta=1000.0, seed=4)
+        # With a huge distribution index children hug the parents.
+        assert np.all(np.minimum(np.abs(children - 0), np.abs(children - 10)) <= 2)
+
+    def test_odd_parent_count_rejected(self):
+        with pytest.raises(ValidationError):
+            sbx_crossover(np.zeros((3, 2), dtype=np.int64), n_servers=4)
+
+    def test_deterministic_given_seed(self):
+        parents = np.random.default_rng(5).integers(0, 30, size=(20, 8))
+        a = sbx_crossover(parents, n_servers=30, seed=42)
+        b = sbx_crossover(parents, n_servers=30, seed=42)
+        assert np.array_equal(a, b)
+
+
+class TestPolynomialMutation:
+    def test_shape_and_range(self):
+        genomes = np.random.default_rng(0).integers(0, 50, size=(30, 20))
+        mutated = polynomial_mutation(genomes, n_servers=50, seed=1)
+        assert mutated.shape == genomes.shape
+        assert mutated.min() >= 0 and mutated.max() < 50
+
+    def test_rate_zero_is_identity(self):
+        genomes = np.random.default_rng(1).integers(0, 9, size=(5, 7))
+        assert np.array_equal(
+            polynomial_mutation(genomes, n_servers=9, rate=0.0, seed=2), genomes
+        )
+
+    def test_rate_controls_change_fraction(self):
+        genomes = np.full((50, 100), 25, dtype=np.int64)
+        low = polynomial_mutation(genomes, n_servers=50, rate=0.05, seed=3)
+        high = polynomial_mutation(genomes, n_servers=50, rate=0.9, seed=3)
+        assert (low != genomes).mean() < (high != genomes).mean()
+
+    def test_single_server_noop(self):
+        genomes = np.zeros((4, 5), dtype=np.int64)
+        assert np.array_equal(
+            polynomial_mutation(genomes, n_servers=1, rate=1.0), genomes
+        )
+
+    def test_input_not_modified(self):
+        genomes = np.random.default_rng(2).integers(0, 9, size=(6, 6))
+        snapshot = genomes.copy()
+        polynomial_mutation(genomes, n_servers=9, rate=1.0, seed=4)
+        assert np.array_equal(genomes, snapshot)
+
+
+class TestDiscreteOperators:
+    def test_uniform_crossover_genes_come_from_parents(self):
+        rng = np.random.default_rng(0)
+        parents = rng.integers(0, 100, size=(20, 12))
+        children = uniform_crossover(parents, rate=1.0, seed=1)
+        p1, p2 = parents[0::2], parents[1::2]
+        c1, c2 = children[0::2], children[1::2]
+        assert np.all((c1 == p1) | (c1 == p2))
+        assert np.all((c2 == p1) | (c2 == p2))
+
+    def test_uniform_crossover_preserves_multiset_per_gene(self):
+        parents = np.random.default_rng(1).integers(0, 50, size=(10, 8))
+        children = uniform_crossover(parents, rate=1.0, seed=2)
+        for pair in range(5):
+            p = np.sort(parents[2 * pair : 2 * pair + 2], axis=0)
+            c = np.sort(children[2 * pair : 2 * pair + 2], axis=0)
+            assert np.array_equal(p, c)
+
+    def test_random_reset_range(self):
+        genomes = np.zeros((10, 10), dtype=np.int64)
+        mutated = random_reset_mutation(genomes, n_servers=5, rate=1.0, seed=3)
+        assert mutated.min() >= 0 and mutated.max() < 5
+
+
+class TestSelection:
+    def test_tournament_prefers_lower_rank(self):
+        ranks = np.array([0, 5])
+        winners = binary_tournament(ranks, None, n_parents=200, seed=0)
+        # Individual 0 must win every mixed tournament.
+        share = (winners == 0).mean()
+        assert share > 0.6
+
+    def test_tournament_prefers_feasible_tier(self):
+        ranks = np.array([5, 0])  # worse rank but feasible
+        tiers = np.array([0, 3])
+        winners = binary_tournament(ranks, None, n_parents=200, tiers=tiers, seed=1)
+        assert (winners == 0).mean() > 0.6
+
+    def test_tournament_crowding_tiebreak(self):
+        ranks = np.array([0, 0])
+        crowding = np.array([10.0, 0.1])
+        winners = binary_tournament(ranks, crowding, n_parents=200, seed=2)
+        assert (winners == 0).mean() > 0.6
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValidationError):
+            binary_tournament(np.empty(0, dtype=np.int64), None, 4)
+
+    def test_random_pool_range(self):
+        pool = random_mating_pool(10, 50, seed=3)
+        assert pool.shape == (50,)
+        assert pool.min() >= 0 and pool.max() < 10

@@ -1,0 +1,75 @@
+"""Unit tests for the filter-and-weigh scheduler baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FilterSchedulerAllocator
+from repro.errors import ValidationError
+from repro.model import Request
+from repro.workloads import ScenarioGenerator, ScenarioSpec
+
+
+def _one_vm():
+    return Request(
+        demand=np.ones((1, 3)),
+        qos_guarantee=np.array([0.9]),
+        downtime_cost=np.array([1.0]),
+        migration_cost=np.array([1.0]),
+    )
+
+
+class TestFilterScheduler:
+    def test_never_violates(self, small_infra, small_request):
+        outcome = FilterSchedulerAllocator().allocate(
+            small_infra, [small_request, small_request]
+        )
+        assert outcome.violations == 0
+
+    def test_cost_only_picks_cheapest(self, small_infra):
+        allocator = FilterSchedulerAllocator(
+            free_capacity_weight=0.0, cost_weight=1.0
+        )
+        outcome = allocator.allocate(small_infra, [_one_vm()])
+        rate = small_infra.operating_cost + small_infra.usage_cost
+        assert rate[outcome.assignment[0]] == rate.min()
+
+    def test_capacity_only_picks_roomiest(self, small_infra):
+        allocator = FilterSchedulerAllocator(
+            free_capacity_weight=1.0, cost_weight=0.0
+        )
+        outcome = allocator.allocate(small_infra, [_one_vm()])
+        # The big boxes (servers 2, 3, 6, 7) have the most free room.
+        assert outcome.assignment[0] in (2, 3, 6, 7)
+
+    def test_weights_trade_off(self, small_infra):
+        # In small_infra the cheap servers are the small ones, so the
+        # two single-weigher extremes pick different servers.
+        cheap = FilterSchedulerAllocator(0.0, 1.0).allocate(
+            small_infra, [_one_vm()]
+        )
+        roomy = FilterSchedulerAllocator(1.0, 0.0).allocate(
+            small_infra, [_one_vm()]
+        )
+        assert cheap.assignment[0] != roomy.assignment[0]
+
+    def test_weight_validation(self):
+        with pytest.raises(ValidationError):
+            FilterSchedulerAllocator(-1.0, 1.0)
+        with pytest.raises(ValidationError):
+            FilterSchedulerAllocator(0.0, 0.0)
+
+    def test_respects_affinity(self, small_infra, small_request):
+        outcome = FilterSchedulerAllocator().allocate(small_infra, [small_request])
+        if outcome.accepted[0]:
+            genome = outcome.assignment
+            assert genome[0] == genome[1]
+            assert genome[2] != genome[3]
+
+    def test_on_generated_scenarios(self):
+        spec = ScenarioSpec(servers=20, datacenters=2, vms=40, tightness=0.6)
+        scenario = ScenarioGenerator(spec, seed=6).generate()
+        outcome = FilterSchedulerAllocator().allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        assert outcome.violations == 0
+        assert outcome.rejection_rate <= 0.5

@@ -1,0 +1,70 @@
+"""Unit tests for the strict QoS load-cap constraint mode."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintSet
+from repro.constraints.load_cap import LoadCapConstraint
+
+
+class TestLoadCapConstraint:
+    def test_tighter_than_capacity(self, small_infra, small_request):
+        """Any genome violating plain capacity also violates the knee
+        cap (LM < 1 everywhere), never the reverse direction."""
+        rng = np.random.default_rng(0)
+        plain = ConstraintSet(small_infra, small_request, include_assignment=False)
+        cap = plain.capacity
+        knee = LoadCapConstraint(small_infra, small_request.demand)
+        for _ in range(30):
+            genome = rng.integers(0, small_infra.m, size=small_request.n)
+            if cap.violations(genome) > 0:
+                assert knee.violations(genome) > 0
+
+    def test_detects_past_knee_within_capacity(self, small_infra):
+        # Demand at 90% of server 0's raw capacity: within P*F? F=0.95
+        # so 0.90 < 0.95 passes capacity, but LM=0.8 fails the knee.
+        demand = (0.9 * small_infra.capacity[0])[None, :]
+        import numpy as np
+
+        from repro.model import Request
+
+        request = Request(
+            demand=demand,
+            qos_guarantee=np.array([0.9]),
+            downtime_cost=np.array([1.0]),
+            migration_cost=np.array([1.0]),
+        )
+        strict = ConstraintSet(
+            small_infra, request, include_assignment=False, qos_strict=True
+        )
+        loose = ConstraintSet(small_infra, request, include_assignment=False)
+        genome = np.array([0])
+        assert loose.violations(genome) == 0
+        assert strict.violations(genome) > 0
+        assert strict.breakdown(genome)["load_cap"] > 0
+
+    def test_batch_matches_single(self, small_infra, small_request):
+        rng = np.random.default_rng(1)
+        knee = LoadCapConstraint(small_infra, small_request.demand)
+        population = rng.integers(0, small_infra.m, size=(20, small_request.n))
+        batch = knee.batch_violations(population)
+        single = [knee.violations(row) for row in population]
+        assert batch.tolist() == single
+
+    def test_base_usage_tightens(self, small_infra, small_request):
+        base = 0.5 * small_infra.max_load * small_infra.capacity
+        tight = LoadCapConstraint(
+            small_infra, small_request.demand, base_usage=base
+        )
+        loose = LoadCapConstraint(small_infra, small_request.demand)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            genome = rng.integers(0, small_infra.m, size=small_request.n)
+            assert tight.violations(genome) >= loose.violations(genome)
+
+    def test_constraint_set_default_off(self, small_infra, small_request):
+        plain = ConstraintSet(small_infra, small_request)
+        assert plain.load_cap is None
+        assert "load_cap" not in plain.breakdown(
+            np.zeros(small_request.n, dtype=np.int64)
+        )

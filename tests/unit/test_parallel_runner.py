@@ -1,0 +1,71 @@
+"""Unit tests for the process-parallel experiment runner."""
+
+from functools import partial
+
+import pytest
+
+from repro.baselines import BestFitAllocator, FirstFitAllocator
+from repro.ea import NSGAConfig
+from repro.errors import ValidationError
+from repro.evaluation import ExperimentRunner
+from repro.evaluation.parallel import ParallelExperimentRunner
+from repro.hybrid import NSGA2Allocator
+from repro.workloads import ScenarioSpec
+
+_SPECS = [
+    ScenarioSpec(servers=10, vms=20, tightness=0.5),
+    ScenarioSpec(servers=16, vms=32, tightness=0.5),
+]
+
+# Picklable factories: plain classes and partials of (class, config).
+_FACTORIES = {
+    "ff": FirstFitAllocator,
+    "bf": BestFitAllocator,
+    "nsga2": partial(
+        NSGA2Allocator, NSGAConfig(population_size=8, max_evaluations=64, seed=0)
+    ),
+}
+
+
+class TestParallelRunner:
+    def test_matches_serial_runner_exactly(self):
+        """Determinism is the whole contract: same seed, same records,
+        regardless of worker scheduling (timing fields excluded)."""
+        serial = ExperimentRunner(dict(_FACTORIES), runs=2, seed=3).run_sweep(
+            _SPECS
+        )
+        parallel = ParallelExperimentRunner(
+            dict(_FACTORIES), runs=2, seed=3, n_workers=2
+        ).run_sweep(_SPECS)
+        assert len(serial.records) == len(parallel.records)
+        for a, b in zip(serial.records, parallel.records):
+            assert a.algorithm == b.algorithm
+            assert (a.servers, a.vms, a.seed) == (b.servers, b.vms, b.seed)
+            assert a.rejection_rate == b.rejection_rate
+            assert a.violations == b.violations
+            assert a.provider_cost == pytest.approx(b.provider_cost)
+
+    def test_single_worker_works(self):
+        result = ParallelExperimentRunner(
+            {"ff": FirstFitAllocator}, runs=1, seed=0, n_workers=1
+        ).run_sweep(_SPECS[:1])
+        assert len(result.records) == 1
+
+    def test_series_interface_compatible(self):
+        result = ParallelExperimentRunner(
+            {"ff": FirstFitAllocator, "bf": BestFitAllocator},
+            runs=2,
+            seed=1,
+            n_workers=2,
+        ).run_sweep(_SPECS)
+        series = result.series("rejection_rate")
+        assert set(series) == {"ff", "bf"}
+        assert all(len(v) == len(_SPECS) for v in series.values())
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ParallelExperimentRunner({}, runs=1)
+        with pytest.raises(ValidationError):
+            ParallelExperimentRunner({"ff": FirstFitAllocator}, runs=0)
+        with pytest.raises(ValidationError):
+            ParallelExperimentRunner({"ff": FirstFitAllocator}, n_workers=0)

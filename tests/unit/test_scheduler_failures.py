@@ -1,0 +1,122 @@
+"""Unit tests for platform failure/recovery events (the paper's
+future-work flow events)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FirstFitAllocator
+from repro.errors import SchedulerError
+from repro.model import Request
+from repro.scheduler import TimeWindowScheduler
+
+
+def _request(n=2, scale=1.0):
+    return Request(
+        demand=np.full((n, 3), scale),
+        qos_guarantee=np.full(n, 0.9),
+        downtime_cost=np.ones(n),
+        migration_cost=np.full(n, 7.0),
+    )
+
+
+class TestServerFailure:
+    def test_failed_server_receives_nothing(self, small_infra):
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.schedule_failure(0, at=0.0)
+        scheduler.submit("a", _request(), at=0.5)
+        report = scheduler.run_window()
+        assert report.failures == (0,)
+        assert 0 in scheduler.failed_servers
+        placed = report.outcome.assignment
+        assert 0 not in placed[placed >= 0].tolist()
+
+    def test_failure_displaces_and_replaces_tenants(self, small_infra):
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.submit("a", _request(), at=0.0)
+        first = scheduler.run_window()
+        assert first.accepted == ("a",)
+        hosted_on = scheduler.state.previous_assignment("a")
+        server = int(hosted_on[0])
+
+        scheduler.schedule_failure(server, at=scheduler.clock + 0.1)
+        report = scheduler.run_window()
+        assert report.failures == (server,)
+        assert report.displaced == ("a",)
+        # The tenant was re-placed somewhere legal.
+        assert "a" in report.accepted
+        new_assignment = scheduler.state.previous_assignment("a")
+        assert server not in new_assignment.tolist()
+        scheduler.state.verify_consistency()
+
+    def test_displacement_not_charged_as_migration(self, small_infra):
+        # All of tenant a sits on one server; when it fails, every gene
+        # was on the failed host, so the re-placement books zero
+        # migration cost (forced boots, not moves).
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.submit("a", _request(), at=0.0)
+        scheduler.run_window()
+        assignment = scheduler.state.previous_assignment("a")
+        servers = set(assignment.tolist())
+        if len(servers) != 1:
+            pytest.skip("tenant spread over several servers")
+        scheduler.schedule_failure(assignment[0], at=scheduler.clock + 0.1)
+        report = scheduler.run_window()
+        assert report.outcome is not None
+        assert report.outcome.objectives[2] == pytest.approx(0.0)
+
+    def test_recovery_restores_server(self, small_infra):
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.schedule_failure(0, at=0.0)
+        scheduler.schedule_recovery(0, at=1.5)
+        scheduler.submit("late", _request(), at=1.6)
+        scheduler.run_window()  # failure
+        report = scheduler.run_window()  # recovery + arrival
+        assert report.recoveries == (0,)
+        assert scheduler.failed_servers == frozenset()
+        # First-fit can use server 0 again.
+        assert report.outcome.assignment[0] == 0
+
+    def test_duplicate_failure_is_idempotent(self, small_infra):
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.schedule_failure(3, at=0.0)
+        scheduler.schedule_failure(3, at=0.1)
+        report = scheduler.run_window()
+        assert report.failures == (3,)
+
+    def test_out_of_range_server_rejected(self, small_infra):
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_failure(small_infra.m, at=0.0)
+        with pytest.raises(SchedulerError):
+            scheduler.schedule_recovery(-1, at=0.0)
+
+    def test_mass_failure_forces_rejections(self, small_infra):
+        # Fail every server but one tiny host: displaced tenants cannot
+        # all fit and must be rejected, never silently violated.
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        for i in range(3):
+            scheduler.submit(f"t{i}", _request(n=4, scale=3.0), at=0.0)
+        scheduler.run_window()
+        for server in range(1, small_infra.m):
+            scheduler.schedule_failure(server, at=scheduler.clock + 0.1)
+        report = scheduler.run_window()
+        assert report.outcome is None or report.outcome.violations == 0
+        scheduler.state.verify_consistency()
+        # Whatever is still hosted only uses server 0.
+        for key in scheduler.state.tenants():
+            assignment = scheduler.state.previous_assignment(key)
+            assert set(assignment.tolist()) <= {0}
+
+    def test_reoptimize_respects_failed_servers(self, small_infra):
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.submit("a", _request(), at=0.0)
+        scheduler.submit("b", _request(), at=0.0)
+        scheduler.run_window()
+        scheduler.schedule_failure(5, at=scheduler.clock + 0.1)
+        scheduler.run_window()
+        result = scheduler.reoptimize()
+        if result is None:
+            pytest.skip("nothing hosted")
+        outcome, _plan = result
+        placed = outcome.assignment[outcome.assignment >= 0]
+        assert 5 not in placed.tolist()

@@ -1,0 +1,126 @@
+"""Unit tests for the paired-bootstrap comparison tooling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BestFitAllocator, WorstFitAllocator
+from repro.errors import ValidationError
+from repro.evaluation import ExperimentRunner
+from repro.evaluation.metrics import RunRecord
+from repro.evaluation.stats import (
+    bootstrap_ci,
+    compare_algorithms,
+    paired_differences,
+)
+from repro.workloads import ScenarioSpec
+
+
+def _record(algorithm, seed, cost, servers=10, vms=20):
+    return RunRecord(
+        algorithm=algorithm,
+        servers=servers,
+        vms=vms,
+        requests=5,
+        elapsed=0.1,
+        rejection_rate=0.0,
+        violations=0,
+        provider_cost=cost,
+        downtime_cost=0.0,
+        migration_cost=0.0,
+        seed=seed,
+    )
+
+
+class TestPairedDifferences:
+    def test_pairs_by_scenario(self):
+        a = [_record("a", 0, 10.0), _record("a", 1, 20.0)]
+        b = [_record("b", 1, 15.0), _record("b", 0, 5.0)]  # shuffled order
+        diffs = paired_differences(a, b, "provider_cost")
+        assert sorted(diffs.tolist()) == [5.0, 5.0]
+
+    def test_mismatched_scenarios_rejected(self):
+        a = [_record("a", 0, 10.0)]
+        b = [_record("b", 1, 10.0)]
+        with pytest.raises(ValidationError):
+            paired_differences(a, b, "provider_cost")
+
+    def test_duplicate_rejected(self):
+        a = [_record("a", 0, 10.0), _record("a", 0, 11.0)]
+        with pytest.raises(ValidationError):
+            paired_differences(a, a, "provider_cost")
+
+    def test_unknown_metric_rejected(self):
+        a = [_record("a", 0, 10.0)]
+        with pytest.raises(ValidationError):
+            paired_differences(a, a, "bogus")
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_for_tight_sample(self):
+        sample = np.full(50, 3.0) + np.random.default_rng(0).normal(0, 0.01, 50)
+        low, high = bootstrap_ci(sample, seed=1)
+        assert low <= sample.mean() <= high
+        assert high - low < 0.05
+
+    def test_ci_widens_with_noise(self):
+        rng = np.random.default_rng(2)
+        tight = bootstrap_ci(rng.normal(0, 0.1, 40), seed=3)
+        loose = bootstrap_ci(rng.normal(0, 5.0, 40), seed=3)
+        assert (loose[1] - loose[0]) > (tight[1] - tight[0])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValidationError):
+            bootstrap_ci(np.ones(3), confidence=1.5)
+
+
+class TestCompareAlgorithms:
+    def test_clear_difference_is_significant(self):
+        records = []
+        rng = np.random.default_rng(4)
+        for seed in range(20):
+            records.append(_record("cheap", seed, 10.0 + rng.normal(0, 0.5)))
+            records.append(_record("pricey", seed, 20.0 + rng.normal(0, 0.5)))
+        from repro.evaluation import SweepResult
+
+        result = SweepResult(records=records)
+        comparison = compare_algorithms(result, "cheap", "pricey", "provider_cost")
+        assert comparison.mean_difference < 0
+        assert comparison.significant
+        assert comparison.n_pairs == 20
+
+    def test_identical_algorithms_not_significant(self):
+        records = []
+        for seed in range(10):
+            records.append(_record("x", seed, 10.0))
+            records.append(_record("y", seed, 10.0))
+        from repro.evaluation import SweepResult
+
+        result = SweepResult(records=records)
+        comparison = compare_algorithms(result, "x", "y", "provider_cost")
+        assert comparison.mean_difference == 0.0
+        assert not comparison.significant
+
+    def test_on_real_sweep(self):
+        runner = ExperimentRunner(
+            {"best_fit": BestFitAllocator, "worst_fit": WorstFitAllocator},
+            runs=4,
+            seed=5,
+        )
+        result = runner.run_sweep(
+            [ScenarioSpec(servers=12, vms=24, tightness=0.5, heterogeneity=0.4)]
+        )
+        comparison = compare_algorithms(
+            result, "best_fit", "worst_fit", "provider_cost"
+        )
+        # Best-fit consolidates onto cheap servers; with heterogeneous
+        # costs its provider cost is never higher on paired scenarios.
+        assert comparison.mean_difference <= 1e-9
+
+    def test_missing_algorithm_rejected(self):
+        from repro.evaluation import SweepResult
+
+        result = SweepResult(records=[_record("x", 0, 1.0)])
+        with pytest.raises(ValidationError):
+            compare_algorithms(result, "x", "ghost", "provider_cost")

@@ -1,0 +1,225 @@
+"""Unit tests for the tabu layer: tabu list, neighbour search, repair,
+standalone search."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import ConstraintSet
+from repro.errors import ValidationError
+from repro.model import PlacementGroup, Request
+from repro.objectives import PopulationEvaluator
+from repro.tabu import NeighborFinder, TabuList, TabuRepair, TabuSearch
+from repro.types import PlacementRule
+
+
+class TestTabuList:
+    def test_membership(self):
+        tabu = TabuList(tenure=4)
+        tabu.add(1, 5)
+        assert (1, 5) in tabu
+        assert (1, 6) not in tabu
+
+    def test_capacity_evicts_oldest(self):
+        tabu = TabuList(tenure=2)
+        tabu.add(0, 0)
+        tabu.add(1, 1)
+        tabu.add(2, 2)
+        assert (0, 0) not in tabu
+        assert (1, 1) in tabu and (2, 2) in tabu
+
+    def test_readd_refreshes(self):
+        tabu = TabuList(tenure=2)
+        tabu.add(0, 0)
+        tabu.add(1, 1)
+        tabu.add(0, 0)  # refresh
+        tabu.add(2, 2)
+        assert (0, 0) in tabu and (1, 1) not in tabu
+
+    def test_zero_tenure_disables(self):
+        tabu = TabuList(tenure=0)
+        tabu.add(0, 0)
+        assert (0, 0) not in tabu and len(tabu) == 0
+
+    def test_forbidden_servers(self):
+        tabu = TabuList(tenure=8)
+        tabu.add(3, 1)
+        tabu.add(3, 2)
+        tabu.add(4, 9)
+        assert sorted(tabu.forbidden_servers(3)) == [1, 2]
+
+    def test_clear(self):
+        tabu = TabuList(tenure=4)
+        tabu.add(0, 0)
+        tabu.clear()
+        assert len(tabu) == 0
+
+    def test_negative_tenure_rejected(self):
+        with pytest.raises(ValidationError):
+            TabuList(tenure=-1)
+
+
+class TestNeighborFinder:
+    def test_capacity_mask_credits_current_host(self, small_infra, small_request):
+        finder = NeighborFinder(small_infra, small_request)
+        assignment = np.array([0, 0, 2, 3, 4, 5])
+        usage = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        ).capacity.server_usage(assignment)
+        mask = finder.capacity_mask(usage, assignment, 0)
+        assert mask[0]  # its own host must still be "valid capacity-wise"
+
+    def test_affinity_mask_same_server(self, small_infra, small_request):
+        finder = NeighborFinder(small_infra, small_request)
+        # VM 0 and 1 are a SAME_SERVER pair; VM 1 sits on server 3.
+        assignment = np.array([0, 3, 2, 4, 5, 6])
+        mask = finder.affinity_mask(assignment, 0)
+        assert mask[3] and mask.sum() == 1
+
+    def test_affinity_mask_different_servers(self, small_infra, small_request):
+        finder = NeighborFinder(small_infra, small_request)
+        # VMs 2 and 3 must differ; VM 3 on server 4.
+        assignment = np.array([0, 0, 2, 4, 5, 6])
+        mask = finder.affinity_mask(assignment, 2)
+        assert not mask[4] and mask.sum() == small_infra.m - 1
+
+    def test_affinity_mask_no_groups_is_all_true(self, small_infra, small_request):
+        finder = NeighborFinder(small_infra, small_request)
+        assignment = np.array([0, 0, 2, 4, 5, 6])
+        assert finder.affinity_mask(assignment, 5).all()
+
+    def test_find_first_order_returns_lowest_id(self, small_infra, small_request):
+        finder = NeighborFinder(small_infra, small_request)
+        assignment = np.array([0, 0, 2, 3, 4, 5])
+        usage = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        ).capacity.server_usage(assignment)
+        target = finder.find(usage, assignment, 5, order="first")
+        assert target == 0  # server 0 has room and the lowest id
+
+    def test_find_respects_tabu(self, small_infra, small_request):
+        finder = NeighborFinder(small_infra, small_request)
+        assignment = np.array([0, 0, 2, 3, 4, 5])
+        usage = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        ).capacity.server_usage(assignment)
+        tabu = TabuList(tenure=8)
+        tabu.add(5, 0)
+        target = finder.find(usage, assignment, 5, tabu=tabu, order="first")
+        assert target not in (0, 5)  # 0 is tabu, 5 is current
+
+    def test_find_orders(self, small_infra, small_request):
+        finder = NeighborFinder(small_infra, small_request)
+        assignment = np.array([0, 0, 2, 3, 4, 5])
+        usage = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        ).capacity.server_usage(assignment)
+        rng = np.random.default_rng(0)
+        for order in ("first", "best_fit", "random"):
+            target = finder.find(usage, assignment, 5, order=order, rng=rng)
+            assert target is not None and target != 5
+        with pytest.raises(ValidationError):
+            finder.find(usage, assignment, 5, order="bogus")
+
+    def test_find_returns_none_when_nothing_fits(self, small_infra):
+        # One VM as big as the largest server: nowhere else to go once
+        # its demand is doubled everywhere via base usage.
+        request = Request(
+            demand=small_infra.effective_capacity[[2]],
+            qos_guarantee=np.array([0.9]),
+            downtime_cost=np.array([1.0]),
+            migration_cost=np.array([1.0]),
+        )
+        base = small_infra.effective_capacity * 0.5
+        finder = NeighborFinder(small_infra, request, base_usage=base)
+        assignment = np.array([2])
+        usage = np.zeros_like(base)
+        assert finder.find(usage, assignment, 0) is None
+
+
+class TestTabuRepair:
+    def test_feasible_genome_untouched(self, small_infra, small_request):
+        repair = TabuRepair(small_infra, small_request, seed=0)
+        genome = np.array([0, 0, 2, 3, 4, 5])
+        assert np.array_equal(repair.repair_genome(genome), genome)
+        assert repair.repaired_individuals == 0
+
+    def test_repairs_affinity_violation(self, small_infra, small_request):
+        repair = TabuRepair(small_infra, small_request, seed=0)
+        broken = np.array([0, 1, 2, 3, 4, 5])  # same-server pair split
+        fixed = repair.repair_genome(broken)
+        constraint_set = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        )
+        assert constraint_set.violations(fixed) == 0
+
+    def test_repairs_anti_affinity_violation(self, small_infra, small_request):
+        repair = TabuRepair(small_infra, small_request, seed=0)
+        broken = np.array([0, 0, 2, 2, 4, 5])  # different-servers collided
+        fixed = repair.repair_genome(broken)
+        constraint_set = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        )
+        assert constraint_set.violations(fixed) == 0
+
+    def test_never_increases_violations(self, small_infra, small_request):
+        constraint_set = ConstraintSet(
+            small_infra, small_request, include_assignment=False
+        )
+        rng = np.random.default_rng(1)
+        repair = TabuRepair(small_infra, small_request, seed=2)
+        for _ in range(20):
+            genome = rng.integers(0, small_infra.m, size=small_request.n)
+            before = constraint_set.violations(genome)
+            after = constraint_set.violations(repair.repair_genome(genome))
+            assert after <= before
+
+    def test_population_call_only_touches_infeasible(
+        self, small_infra, small_request
+    ):
+        repair = TabuRepair(small_infra, small_request, seed=3)
+        feasible = np.array([0, 0, 2, 3, 4, 5])
+        broken = np.array([0, 1, 2, 3, 4, 5])
+        population = np.vstack([feasible, broken])
+        fixed = repair(population)
+        assert np.array_equal(fixed[0], feasible)
+        assert not np.array_equal(fixed[1], broken)
+
+    def test_genes_stay_in_range(self, small_infra, small_request):
+        repair = TabuRepair(small_infra, small_request, seed=4)
+        rng = np.random.default_rng(5)
+        population = rng.integers(0, small_infra.m, size=(10, small_request.n))
+        fixed = repair(population)
+        assert fixed.min() >= 0 and fixed.max() < small_infra.m
+
+    def test_max_rounds_validated(self, small_infra, small_request):
+        with pytest.raises(ValidationError):
+            TabuRepair(small_infra, small_request, max_rounds=0)
+
+
+class TestTabuSearch:
+    def test_improves_random_start(self, small_infra, small_request):
+        evaluator = PopulationEvaluator(small_infra, small_request)
+        search = TabuSearch(evaluator, max_iterations=60, seed=0)
+        rng = np.random.default_rng(1)
+        start = rng.integers(0, small_infra.m, size=small_request.n)
+        start_score = (
+            evaluator.violations(start),
+            float(evaluator.evaluate(start).aggregate()),
+        )
+        result = search.run(start)
+        end_score = (result.violations, float(result.objectives.sum()))
+        assert end_score <= start_score
+
+    def test_result_fields(self, small_infra, small_request):
+        evaluator = PopulationEvaluator(small_infra, small_request)
+        search = TabuSearch(evaluator, max_iterations=10, seed=0)
+        result = search.run(np.zeros(small_request.n, dtype=np.int64))
+        assert result.assignment.shape == (small_request.n,)
+        assert result.objectives.shape == (3,)
+        assert result.evaluations > 0 and result.elapsed >= 0
+
+    def test_wrong_start_shape_rejected(self, small_infra, small_request):
+        evaluator = PopulationEvaluator(small_infra, small_request)
+        search = TabuSearch(evaluator, max_iterations=5)
+        with pytest.raises(ValidationError):
+            search.run(np.zeros(3, dtype=np.int64))

@@ -1,0 +1,112 @@
+"""Unit tests for the vector bin-packing baselines (FFD, dot-product)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DotProductAllocator,
+    FirstFitAllocator,
+    FirstFitDecreasingAllocator,
+)
+from repro.model import Infrastructure, Request
+from repro.workloads import ScenarioGenerator, ScenarioSpec
+
+
+class TestFirstFitDecreasing:
+    def test_never_violates(self, small_infra, small_request):
+        outcome = FirstFitDecreasingAllocator().allocate(
+            small_infra, [small_request, small_request]
+        )
+        assert outcome.violations == 0
+
+    def test_orders_largest_first(self, small_request):
+        order = FirstFitDecreasingAllocator()._placement_order(small_request)
+        demand = small_request.demand
+        scale = demand.max(axis=0)
+        size = (demand / scale).sum(axis=1)
+        grouped = {0, 1, 2, 3}
+        block1 = [k for k in order if k in grouped]
+        block2 = [k for k in order if k not in grouped]
+        assert list(order) == block1 + block2
+        # Within each block, size non-increasing.
+        for block in (block1, block2):
+            sizes = [size[k] for k in block]
+            assert all(a >= b - 1e-12 for a, b in zip(sizes, sizes[1:]))
+
+    def test_respects_affinity(self, small_infra, small_request):
+        outcome = FirstFitDecreasingAllocator().allocate(
+            small_infra, [small_request]
+        )
+        if outcome.accepted[0]:
+            genome = outcome.assignment
+            assert genome[0] == genome[1]
+            assert genome[2] != genome[3]
+
+    def test_packs_at_least_as_well_as_first_fit_on_adversarial_mix(self):
+        """The classic FFD win: a size mix that first-fit fragments."""
+        infra = Infrastructure.homogeneous(
+            datacenters=1, servers_per_datacenter=3, capacity=[10.0, 10.0, 10.0]
+        )
+        # Items 6,6,6 then 4,4,4: FF places the 6s on three servers and
+        # each 4 fits beside one -> both succeed; reverse arrival order
+        # (4s first) makes FF pair 4+4, stranding a 6.  FFD is immune to
+        # arrival order because it sorts.
+        demands = [4.0, 4.0, 4.0, 6.0, 6.0, 6.0]
+        requests = [
+            Request(
+                demand=np.full((1, 3), d),
+                qos_guarantee=np.array([0.9]),
+                downtime_cost=np.array([1.0]),
+                migration_cost=np.array([1.0]),
+            )
+            for d in demands
+        ]
+        ff = FirstFitAllocator().allocate(infra, requests)
+        # First-fit strands one big item with this arrival order.
+        assert ff.rejection_rate > 0
+        # FFD sorts per request, but requests are sequential; to show
+        # the sorted win we submit everything as one request.
+        merged = Request(
+            demand=np.array([[d, d, d] for d in demands]),
+            qos_guarantee=np.full(6, 0.9),
+            downtime_cost=np.ones(6),
+            migration_cost=np.ones(6),
+        )
+        ffd = FirstFitDecreasingAllocator().allocate(infra, [merged])
+        assert ffd.rejection_rate == 0.0
+
+
+class TestDotProduct:
+    def test_never_violates(self, small_infra, small_request):
+        outcome = DotProductAllocator().allocate(
+            small_infra, [small_request, small_request]
+        )
+        assert outcome.violations == 0
+
+    def test_prefers_aligned_server(self):
+        # Server 0 is CPU-rich, server 1 RAM-rich; a CPU-heavy demand
+        # must go to server 0.
+        infra = Infrastructure.homogeneous(
+            datacenters=1, servers_per_datacenter=2, capacity=[1.0, 1.0, 1.0]
+        )
+        import dataclasses
+
+        capacity = np.array([[100.0, 10.0, 50.0], [10.0, 100.0, 50.0]])
+        infra = dataclasses.replace(infra, capacity=capacity)
+        request = Request(
+            demand=np.array([[50.0, 5.0, 10.0]]),
+            qos_guarantee=np.array([0.9]),
+            downtime_cost=np.array([1.0]),
+            migration_cost=np.array([1.0]),
+        )
+        outcome = DotProductAllocator().allocate(infra, [request])
+        assert outcome.assignment[0] == 0
+
+    def test_acceptance_on_generated_scenarios(self):
+        spec = ScenarioSpec(servers=20, datacenters=2, vms=40, tightness=0.6)
+        scenario = ScenarioGenerator(spec, seed=5).generate()
+        outcome = DotProductAllocator().allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        assert outcome.violations == 0
+        assert outcome.rejection_rate <= 0.5

@@ -17,7 +17,6 @@ import pytest
 
 from benchmarks.conftest import BENCH_EA, scenario_for
 from repro.ea import NSGA3, RepairHandling, hypervolume
-from repro.ea.nsga_base import NSGABase
 from repro.ea.operators import (
     polynomial_mutation,
     random_reset_mutation,

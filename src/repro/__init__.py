@@ -26,6 +26,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison.
 """
 
+from repro import telemetry
 from repro.allocator import Allocator, BatchOutcome
 from repro.baselines import (
     BestFitAllocator,
@@ -109,4 +110,6 @@ __all__ = [
     "Scenario",
     "ScenarioGenerator",
     "ScenarioSpec",
+    # observability
+    "telemetry",
 ]

@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro table2
     python -m repro table3
     python -m repro generate --servers 40 --vms 80 --out scenario.json
+    python -m repro compare  --telemetry console       # live event stream
+    python -m repro fig9     --telemetry jsonl:events.jsonl
 
 Every figure command prints the corresponding series as a text table
 (sizes down the rows, algorithms across the columns).  Budgets are the
@@ -24,6 +26,7 @@ import argparse
 import sys
 from typing import Callable
 
+from repro import telemetry
 from repro import (
     CPAllocator,
     NSGA2Allocator,
@@ -268,6 +271,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include the slow nsga3_cp hybrid in sweeps",
     )
+    common.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="SPEC",
+        help="event sink: console, jsonl:PATH, or off (default; see "
+        "docs/OBSERVABILITY.md)",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
     for name, fn, help_text in [
@@ -301,7 +311,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point (``python -m repro ...``)."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    sink = telemetry.configure(getattr(args, "telemetry", None))
+    try:
+        return args.func(args)
+    finally:
+        telemetry.shutdown(sink)
+        if sink is not None:
+            # Sweeps attach their metrics to the SweepResult; whatever
+            # was recorded outside a sweep (compare, scheduler runs) is
+            # summarized here so console/jsonl users see both streams.
+            summary = telemetry.get_registry().format_summary()
+            if summary:
+                print("\n-- telemetry (process registry) --")
+                print(summary)
 
 
 if __name__ == "__main__":  # pragma: no cover

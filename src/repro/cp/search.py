@@ -24,6 +24,7 @@ from repro.cp.propagation import (
 from repro.errors import ValidationError
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
+from repro.telemetry import get_registry
 from repro.types import FloatArray, IntArray
 
 __all__ = ["SearchLimits", "SearchStats", "CPSearch"]
@@ -148,6 +149,9 @@ class CPSearch:
         ):
             self.stats.exhausted = True
             self.stats.elapsed = time.perf_counter() - start
+            registry = get_registry()
+            registry.count("cp.solves")
+            registry.observe("cp.solve_seconds", self.stats.elapsed)
             return None, np.inf
 
         assignment = np.full(n, -1, dtype=np.int64)
@@ -234,4 +238,14 @@ class CPSearch:
         aborted = recurse(0.0)
         self.stats.exhausted = not aborted
         self.stats.elapsed = time.perf_counter() - start
+        # Counters are recorded once per solve (never per node): the
+        # propagation/backtrack hot path stays untouched.
+        registry = get_registry()
+        registry.count("cp.solves")
+        registry.count("cp.nodes", self.stats.nodes)
+        registry.count("cp.backtracks", self.stats.backtracks)
+        registry.count("cp.solutions", self.stats.solutions)
+        if self.stats.aborted:
+            registry.count("cp.aborts")
+        registry.observe("cp.solve_seconds", self.stats.elapsed)
         return best, (incumbent if best is not None else np.inf)

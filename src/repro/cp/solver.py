@@ -18,6 +18,7 @@ from repro.cp.search import CPSearch, SearchLimits, SearchStats
 from repro.errors import ValidationError
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
+from repro.telemetry import RepairInvoked, get_bus, get_registry
 from repro.types import FloatArray, IntArray
 
 __all__ = ["CPSolution", "CPSolver"]
@@ -129,6 +130,18 @@ class CPSolver:
 
         search._ordered_candidates = seeded_order  # type: ignore[method-assign]
         solved, _cost = search.solve(find_all_improving=False)
+        moves = (
+            0 if solved is None else int(np.count_nonzero(solved != assignment))
+        )
+        get_registry().count("cp.repair.individuals", repairer="cp")
+        get_registry().count("cp.repair.moves", moves, repairer="cp")
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit(
+                RepairInvoked(
+                    repairer="cp", moves=moves, repaired=solved is not None
+                )
+            )
         return assignment.copy() if solved is None else solved
 
     def repair_population(self, population: IntArray) -> IntArray:

@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.telemetry import get_registry, span
 from repro.types import FloatArray, IntArray
 
 __all__ = [
@@ -126,7 +127,9 @@ class RepairHandling(ConstraintHandler):
 
     def prepare(self, genomes: IntArray) -> IntArray:
         self._repair_calls += 1
-        repaired = self.repair_fn(np.asarray(genomes, dtype=np.int64))
+        get_registry().count("ea.repair.batches")
+        with span("ea.repair", individuals=int(np.shape(genomes)[0])):
+            repaired = self.repair_fn(np.asarray(genomes, dtype=np.int64))
         repaired = np.asarray(repaired, dtype=np.int64)
         if repaired.shape != genomes.shape:
             raise ValidationError(

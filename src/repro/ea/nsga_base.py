@@ -23,6 +23,7 @@ from repro.ea.population import Population
 from repro.ea.result import EvolutionResult, GenerationStats
 from repro.ea.sorting import fast_non_dominated_sort
 from repro.objectives.evaluator import PopulationEvaluator
+from repro.telemetry import GenerationCompleted, get_bus, get_registry, span
 from repro.types import FloatArray, IntArray
 from repro.utils.timers import Stopwatch
 
@@ -192,6 +193,11 @@ class NSGABase(abc.ABC):
         n = evaluator.request.n
         m = evaluator.infrastructure.m
 
+        # Resolved once per run: with the default no-op bus the per-
+        # generation telemetry below is a single boolean check.
+        bus = get_bus()
+        registry = get_registry()
+
         stopwatch = Stopwatch().start()
         evaluations = 0
         history: list[GenerationStats] = []
@@ -216,6 +222,8 @@ class NSGABase(abc.ABC):
         generation = 0
         if self.track_history:
             history.append(self._stats(generation, evaluations, population))
+        if bus.enabled:
+            bus.emit(self._generation_event(generation, evaluations, population))
 
         def _incumbent(pop: Population) -> tuple[int, float]:
             """(violations, aggregate) of the current single-solution
@@ -238,33 +246,41 @@ class NSGABase(abc.ABC):
                 break
             generation += 1
 
-            eff = self.handler.effective_objectives(
-                population.objectives, population.violations
-            )
-            parent_idx = self._select_parents(population, eff, rng)
-            parents = population.genomes[parent_idx]
+            with span(
+                f"{self.algorithm_name}.generation", generation=generation
+            ):
+                eff = self.handler.effective_objectives(
+                    population.objectives, population.violations
+                )
+                parent_idx = self._select_parents(population, eff, rng)
+                parents = population.genomes[parent_idx]
 
-            if cfg.repair_parents:
-                # Fig. 4: parents violating user constraints are treated
-                # by the repair before they reproduce.
-                parents = self.handler.prepare(parents)
+                if cfg.repair_parents:
+                    # Fig. 4: parents violating user constraints are
+                    # treated by the repair before they reproduce.
+                    parents = self.handler.prepare(parents)
 
-            offspring = self._variation(parents, m, rng)
-            # "The repair process is launched whenever invalid
-            # individuals are assessed" — repair before evaluation.
-            offspring = self.handler.prepare(offspring)
+                offspring = self._variation(parents, m, rng)
+                # "The repair process is launched whenever invalid
+                # individuals are assessed" — repair before evaluation.
+                offspring = self.handler.prepare(offspring)
 
-            off_result = evaluator.evaluate_population(offspring)
-            evaluations += offspring.shape[0]
-            off_pop = Population(
-                offspring, off_result.objectives, off_result.violations
-            )
+                off_result = evaluator.evaluate_population(offspring)
+                evaluations += offspring.shape[0]
+                off_pop = Population(
+                    offspring, off_result.objectives, off_result.violations
+                )
 
-            merged = Population.concatenate(population, off_pop)
-            survivors = self._environmental_selection(
-                merged, cfg.population_size, rng
-            )
-            population = merged.take(survivors)
+                merged = Population.concatenate(population, off_pop)
+                survivors = self._environmental_selection(
+                    merged, cfg.population_size, rng
+                )
+                population = merged.take(survivors)
+
+            if bus.enabled:
+                bus.emit(
+                    self._generation_event(generation, evaluations, population)
+                )
 
             current = _incumbent(population)
             if current < best_seen:
@@ -277,6 +293,15 @@ class NSGABase(abc.ABC):
                 history.append(self._stats(generation, evaluations, population))
 
         stopwatch.stop()
+        registry.count(
+            "nsga.generations", generation, algorithm=self.algorithm_name
+        )
+        registry.count(
+            "nsga.evaluations", evaluations, algorithm=self.algorithm_name
+        )
+        registry.observe(
+            "nsga.run_seconds", stopwatch.elapsed, algorithm=self.algorithm_name
+        )
         return EvolutionResult(
             population=population,
             evaluations=evaluations,
@@ -286,6 +311,20 @@ class NSGABase(abc.ABC):
         )
 
     # ------------------------------------------------------------------
+    def _generation_event(
+        self, generation: int, evaluations: int, population: Population
+    ) -> GenerationCompleted:
+        stats = self._stats(generation, evaluations, population)
+        return GenerationCompleted(
+            algorithm=self.algorithm_name,
+            generation=stats.generation,
+            evaluations=stats.evaluations,
+            best_aggregate=stats.best_aggregate,
+            mean_aggregate=stats.mean_aggregate,
+            feasible_fraction=stats.feasible_fraction,
+            min_violations=stats.min_violations,
+        )
+
     @staticmethod
     def _stats(
         generation: int, evaluations: int, population: Population

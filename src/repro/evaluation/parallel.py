@@ -23,6 +23,7 @@ record list.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Sequence
 
@@ -30,6 +31,7 @@ from repro.allocator import Allocator
 from repro.errors import ValidationError
 from repro.evaluation.metrics import RunRecord
 from repro.evaluation.runner import AllocatorFactory, SweepResult
+from repro.telemetry import MetricsRegistry, MetricsSnapshot, use_registry
 from repro.workloads.generator import Scenario, ScenarioGenerator, ScenarioSpec
 
 __all__ = ["ParallelExperimentRunner"]
@@ -42,14 +44,25 @@ def _execute_cell(
     servers: int,
     vms: int,
     run_index: int,
-) -> RunRecord:
-    """One (algorithm, scenario) cell — runs inside a worker process."""
-    allocator: Allocator = factory()
-    outcome = allocator.allocate(scenario.infrastructure, scenario.requests)
-    record = RunRecord.from_outcome(
-        outcome, servers=servers, vms=vms, seed=run_index
-    )
-    return RunRecord(**{**record.__dict__, "algorithm": label})
+) -> tuple[RunRecord, MetricsSnapshot]:
+    """One (algorithm, scenario) cell — runs inside a worker process.
+
+    The cell executes against a fresh scoped registry (workers are
+    reused across cells, so per-cell isolation matters) and ships its
+    metrics back as a snapshot for the parent to merge.
+    """
+    with use_registry(MetricsRegistry()) as registry:
+        allocator: Allocator = factory()
+        outcome = allocator.allocate(scenario.infrastructure, scenario.requests)
+        registry.count("evaluation.cells", algorithm=label)
+        registry.observe(
+            "evaluation.cell_seconds", outcome.elapsed, algorithm=label
+        )
+        record = RunRecord.from_outcome(
+            outcome, servers=servers, vms=vms, seed=run_index
+        )
+    record = RunRecord(**{**record.__dict__, "algorithm": label})
+    return record, registry.snapshot()
 
 
 class ParallelExperimentRunner:
@@ -81,6 +94,19 @@ class ParallelExperimentRunner:
             raise ValidationError(f"runs must be >= 1, got {runs}")
         if n_workers is not None and n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        # Fail fast on unpicklable factories (lambdas, closures): a
+        # PicklingError mid-grid kills the pool with an opaque
+        # traceback, so name the offending label up front instead.
+        for label, factory in factories.items():
+            try:
+                pickle.dumps(factory)
+            except Exception as exc:
+                raise ValidationError(
+                    f"allocator factory {label!r} is not picklable and cannot "
+                    f"be shipped to worker processes ({exc}); use a class or "
+                    "functools.partial instead of a lambda/closure, or use "
+                    "the serial ExperimentRunner"
+                ) from exc
         self.factories = dict(factories)
         self.runs = int(runs)
         self.seed = int(seed)
@@ -106,6 +132,7 @@ class ParallelExperimentRunner:
                     )
 
         results: dict[tuple[int, int, str], RunRecord] = {}
+        snapshots: list[MetricsSnapshot] = []
         with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
             futures = {
                 pool.submit(
@@ -120,10 +147,14 @@ class ParallelExperimentRunner:
                 for point_index, run_index, label, factory, scenario, spec in cells
             }
             for future in as_completed(futures):
-                results[futures[future]] = future.result()
+                record, snapshot = future.result()
+                results[futures[future]] = record
+                snapshots.append(snapshot)
 
         ordered = [
             results[(point_index, run_index, label)]
             for point_index, run_index, label, *_ in cells
         ]
-        return SweepResult(records=ordered)
+        return SweepResult(
+            records=ordered, telemetry=MetricsSnapshot.merge_all(snapshots)
+        )

@@ -23,6 +23,7 @@ from repro.evaluation.metrics import (
     RunRecord,
     aggregate_records,
 )
+from repro.telemetry import MetricsRegistry, MetricsSnapshot, use_registry
 from repro.workloads.generator import Scenario, ScenarioGenerator, ScenarioSpec
 
 __all__ = ["AllocatorFactory", "SweepResult", "ExperimentRunner"]
@@ -32,9 +33,17 @@ AllocatorFactory = Callable[[], Allocator]
 
 @dataclass
 class SweepResult:
-    """All records of one experiment, with aggregation helpers."""
+    """All records of one experiment, with aggregation helpers.
+
+    ``telemetry`` carries the sweep's merged
+    :class:`~repro.telemetry.MetricsSnapshot` — for parallel runs this
+    is the fold of every worker's per-cell snapshot, so counters like
+    ``nsga.evaluations`` aggregate across processes.  It is not part
+    of the CSV round-trip.
+    """
 
     records: list[RunRecord] = field(default_factory=list)
+    telemetry: MetricsSnapshot | None = None
 
     # Column order of the CSV export (and of from_csv's expectations).
     _CSV_FIELDS = (
@@ -176,23 +185,35 @@ class ExperimentRunner:
     def run_sweep(self, specs: Sequence[ScenarioSpec]) -> SweepResult:
         """Execute the full experiment and return every record."""
         result = SweepResult()
-        for point_index, spec in enumerate(specs):
-            scenarios = self._scenarios_for(spec, point_index)
-            for run_index, scenario in enumerate(scenarios):
-                for label, factory in self.factories.items():
-                    allocator = factory()
-                    outcome = allocator.allocate(
-                        scenario.infrastructure, scenario.requests
-                    )
-                    record = RunRecord.from_outcome(
-                        outcome,
-                        servers=spec.servers,
-                        vms=spec.vms,
-                        seed=run_index,
-                    )
-                    # The label keys the experiment, not the class name.
-                    record = RunRecord(
-                        **{**record.__dict__, "algorithm": label}
-                    )
-                    result.records.append(record)
+        # The sweep runs against its own scoped registry, so nested
+        # instrumentation (NSGA generations, CP nodes, repair moves)
+        # lands in this sweep's snapshot and nowhere else.
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            for point_index, spec in enumerate(specs):
+                scenarios = self._scenarios_for(spec, point_index)
+                for run_index, scenario in enumerate(scenarios):
+                    for label, factory in self.factories.items():
+                        allocator = factory()
+                        outcome = allocator.allocate(
+                            scenario.infrastructure, scenario.requests
+                        )
+                        registry.count("evaluation.cells", algorithm=label)
+                        registry.observe(
+                            "evaluation.cell_seconds",
+                            outcome.elapsed,
+                            algorithm=label,
+                        )
+                        record = RunRecord.from_outcome(
+                            outcome,
+                            servers=spec.servers,
+                            vms=spec.vms,
+                            seed=run_index,
+                        )
+                        # The label keys the experiment, not the class name.
+                        record = RunRecord(
+                            **{**record.__dict__, "algorithm": label}
+                        )
+                        result.records.append(record)
+        result.telemetry = registry.snapshot()
         return result

@@ -112,7 +112,6 @@ class Datacenter:
     name: str = ""
 
     def __post_init__(self) -> None:
-        schemas = {id(s.schema) for s in self.servers}
         if self.servers:
             first = self.servers[0].schema
             for server in self.servers[1:]:
@@ -120,7 +119,6 @@ class Datacenter:
                     raise ValidationError(
                         "all servers in a datacenter must share one attribute schema"
                     )
-        del schemas
 
     def add(self, server: Server) -> None:
         """Append a server, enforcing schema consistency."""

@@ -33,6 +33,14 @@ from repro.scheduler.events import (
     ServerRecoveryEvent,
 )
 from repro.scheduler.reconfiguration import MigrationPlan, plan_migration
+from repro.telemetry import (
+    MigrationPlanned,
+    RequestRejected,
+    WindowClosed,
+    get_bus,
+    get_registry,
+    span,
+)
 
 __all__ = ["WindowReport", "TimeWindowScheduler"]
 
@@ -211,12 +219,17 @@ class TimeWindowScheduler:
                     for p, r in zip(batch_previous, batch_requests)
                 ]
                 previous_assignment = np.concatenate(parts)
-            outcome = self.allocator.allocate(
-                self.infrastructure,
-                batch_requests,
-                base_usage=self._blocked_usage(),
-                previous_assignment=previous_assignment,
-            )
+            with span(
+                "scheduler.allocate",
+                window=self._window_index,
+                requests=len(batch_requests),
+            ):
+                outcome = self.allocator.allocate(
+                    self.infrastructure,
+                    batch_requests,
+                    base_usage=self._blocked_usage(),
+                    previous_assignment=previous_assignment,
+                )
             offset = 0
             for idx, (key, request) in enumerate(zip(batch_keys, batch_requests)):
                 block = outcome.assignment[offset : offset + request.n]
@@ -244,8 +257,49 @@ class TimeWindowScheduler:
             recoveries=tuple(recoveries),
             displaced=tuple(displaced_keys),
         )
+        self._record_window_telemetry(report)
         self._window_index += 1
         return report
+
+    def _record_window_telemetry(self, report: WindowReport) -> None:
+        """Counters + events for one closed window.  Rejections are
+        emitted before the WindowClosed marker, so a sink replaying the
+        stream sees each window's decisions, then its close."""
+        registry = get_registry()
+        registry.count("scheduler.windows")
+        registry.count("scheduler.arrivals", len(report.arrivals))
+        registry.count("scheduler.departures", len(report.departures))
+        registry.count("scheduler.accepted", len(report.accepted))
+        registry.count("scheduler.rejected", len(report.rejected))
+        registry.count("scheduler.displaced", len(report.displaced))
+        registry.count("scheduler.failures", len(report.failures))
+        registry.count("scheduler.recoveries", len(report.recoveries))
+        bus = get_bus()
+        if not bus.enabled:
+            return
+        displaced = set(report.displaced)
+        for key in report.rejected:
+            bus.emit(
+                RequestRejected(
+                    key=key,
+                    window_index=report.window_index,
+                    reason="displaced" if key in displaced else "capacity",
+                )
+            )
+        bus.emit(
+            WindowClosed(
+                window_index=report.window_index,
+                start_time=report.start_time,
+                end_time=report.end_time,
+                arrivals=len(report.arrivals),
+                departures=len(report.departures),
+                accepted=len(report.accepted),
+                rejected=len(report.rejected),
+                displaced=len(report.displaced),
+                failures=len(report.failures),
+                recoveries=len(report.recoveries),
+            )
+        )
 
     def run(self, max_windows: int = 1_000) -> list[WindowReport]:
         """Process windows until the event queue drains (or the cap)."""
@@ -294,7 +348,8 @@ class TimeWindowScheduler:
         merged, _ = Request.concatenate(requests)
         plan = plan_migration(previous, outcome.assignment, merged)
 
-        if bool(outcome.accepted.all()) and outcome.violations == 0:
+        applied = bool(outcome.accepted.all()) and outcome.violations == 0
+        if applied:
             offset = 0
             for key, request in zip(tenants, requests):
                 block = outcome.assignment[offset : offset + request.n]
@@ -304,4 +359,21 @@ class TimeWindowScheduler:
                 )
                 self.state.release(key)
                 self.state.commit(key, placement, request)
+
+        registry = get_registry()
+        registry.count("scheduler.reoptimizations")
+        if applied:
+            registry.count("scheduler.migration_moves", plan.size)
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit(
+                MigrationPlanned(
+                    tenants=len(tenants),
+                    moves=plan.size,
+                    boots=len(plan.boots),
+                    shutdowns=len(plan.shutdowns),
+                    cost=plan.total_cost,
+                    applied=applied,
+                )
+            )
         return outcome, plan

@@ -25,6 +25,7 @@ from repro.errors import ValidationError
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
 from repro.tabu.neighborhood import NeighborFinder, TabuList
+from repro.telemetry import RepairInvoked, get_bus, get_registry
 from repro.types import FloatArray, IntArray
 from repro.utils.rng import as_generator
 
@@ -184,6 +185,7 @@ class TabuRepair:
             return assignment
 
         self.repaired_individuals += 1
+        moves_before = self.moves_performed
         tabu = TabuList(tenure=self.tenure)
         usage = self.constraints.capacity.server_usage(assignment)
         best = assignment.copy()
@@ -240,6 +242,18 @@ class TabuRepair:
                 break
             if not moved_any or stall_rounds >= 3:
                 break  # stuck (no move, or three rounds without progress)
+
+        moves = self.moves_performed - moves_before
+        registry = get_registry()
+        registry.count("tabu.repair.individuals", repairer="tabu")
+        registry.count("tabu.repair.moves", moves, repairer="tabu")
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit(
+                RepairInvoked(
+                    repairer="tabu", moves=moves, repaired=best_score[0] == 0
+                )
+            )
         return best
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.objectives.evaluator import PopulationEvaluator
 from repro.tabu.neighborhood import TabuList
+from repro.telemetry import TabuIteration, get_bus, get_registry, span
 from repro.types import FloatArray, IntArray
 from repro.utils.rng import as_generator
 from repro.utils.timers import Stopwatch
@@ -72,6 +73,21 @@ class TabuSearch:
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _iteration_event(
+        iteration: int,
+        moves_evaluated: int,
+        accepted: bool,
+        best_score: tuple[int, float],
+    ) -> TabuIteration:
+        return TabuIteration(
+            iteration=iteration,
+            moves_evaluated=moves_evaluated,
+            accepted=accepted,
+            best_violations=int(best_score[0]),
+            best_aggregate=float(best_score[1]),
+        )
+
     def _score(self, assignment: IntArray) -> tuple[int, float]:
         violations = self.evaluator.violations(assignment)
         aggregate = float(self.evaluator.evaluate(assignment).aggregate())
@@ -90,6 +106,7 @@ class TabuSearch:
         stopwatch = Stopwatch().start()
         tabu = TabuList(tenure=self.tenure)
         evaluations = 0
+        bus = get_bus()
 
         current_score = self._score(current)
         evaluations += 1
@@ -107,6 +124,10 @@ class TabuSearch:
                 if srv != current[vm]
             ]
             if not moves:
+                if bus.enabled:
+                    bus.emit(
+                        self._iteration_event(iterations, 0, False, best_score)
+                    )
                 continue
             batch = np.tile(current, (len(moves), 1))
             for row, (vm, srv) in enumerate(moves):
@@ -128,6 +149,12 @@ class TabuSearch:
                     best_move = (vm, srv)
                     best_move_score = score
             if best_move is None:
+                if bus.enabled:
+                    bus.emit(
+                        self._iteration_event(
+                            iterations, len(moves), False, best_score
+                        )
+                    )
                 continue
             vm, srv = best_move
             tabu.add(vm, int(current[vm]))
@@ -136,8 +163,18 @@ class TabuSearch:
             if current_score < best_score:
                 best_score = current_score
                 best = current.copy()
+            if bus.enabled:
+                bus.emit(
+                    self._iteration_event(
+                        iterations, len(moves), True, best_score
+                    )
+                )
 
         stopwatch.stop()
+        registry = get_registry()
+        registry.count("tabu.search.iterations", iterations)
+        registry.count("tabu.search.evaluations", evaluations)
+        registry.observe("tabu.search.seconds", stopwatch.elapsed)
         final_objectives = self.evaluator.evaluate(best).as_array()
         return TabuSearchResult(
             assignment=best,

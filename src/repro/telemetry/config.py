@@ -1,0 +1,57 @@
+"""Telemetry sink configuration from a spec string.
+
+The CLI (and anything else taking operator input) describes its
+telemetry target as a compact spec::
+
+    off            no sink (the default no-op bus)
+    console        human-readable lines on stderr
+    jsonl:PATH     one JSON object per event appended to PATH
+    memory         an in-memory sink (mostly for tests/notebooks)
+
+:func:`configure` parses the spec, builds the sink, subscribes it to
+the default bus and returns it; :func:`shutdown` unsubscribes and
+closes it.  Unknown specs raise
+:class:`~repro.errors.ValidationError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.telemetry.events import get_bus
+from repro.telemetry.sinks import ConsoleSink, InMemorySink, JsonlSink, Sink
+
+__all__ = ["configure", "shutdown"]
+
+
+def configure(spec: str | None) -> Sink | None:
+    """Build the sink described by ``spec`` and attach it to the bus.
+
+    Returns the subscribed sink, or None for ``None``/``"off"`` (the
+    default no-op configuration).
+    """
+    if spec is None or spec == "off":
+        return None
+    if spec == "console":
+        sink: Sink = ConsoleSink()
+    elif spec == "memory":
+        sink = InMemorySink()
+    elif spec.startswith("jsonl:"):
+        path = spec[len("jsonl:"):]
+        if not path:
+            raise ValidationError("jsonl telemetry spec needs a path: jsonl:PATH")
+        sink = JsonlSink(path)
+    else:
+        raise ValidationError(
+            f"unknown telemetry spec {spec!r} "
+            "(expected off, console, memory, or jsonl:PATH)"
+        )
+    get_bus().subscribe(sink)
+    return sink
+
+
+def shutdown(sink: Sink | None) -> None:
+    """Detach and close a sink returned by :func:`configure`."""
+    if sink is None:
+        return
+    get_bus().unsubscribe(sink)
+    sink.close()

@@ -40,6 +40,18 @@ class Stopwatch:
             self._start = None
         return self._elapsed
 
+    def split(self) -> float:
+        """Lap time of the in-flight segment, without stopping.
+
+        Seconds since the most recent :meth:`start` — unlike
+        :attr:`elapsed` this excludes previously accumulated segments,
+        so the tracer can timestamp child spans relative to their
+        enclosing span.  Returns 0.0 when the stopwatch is stopped.
+        """
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start
+
     def reset(self) -> None:
         """Zero the stopwatch (also stops it)."""
         self._start = None
@@ -65,7 +77,15 @@ class Stopwatch:
 
 
 def format_duration(seconds: float) -> str:
-    """Render seconds as a human-readable string (``1.23 s``, ``45 ms``...)."""
+    """Render seconds as a human-readable string (``1.23 s``, ``45 ms``...).
+
+    Tiny negative values in ``(-1e-9, 0)`` are floating-point noise
+    (they arise when a span's self-time is computed as total minus
+    children) and are clamped to zero; anything more negative is a
+    caller bug and still raises.
+    """
+    if -1e-9 < seconds < 0:
+        seconds = 0.0
     if seconds < 0:
         raise ValueError(f"duration must be >= 0, got {seconds}")
     if seconds >= 60.0:

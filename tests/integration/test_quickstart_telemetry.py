@@ -1,0 +1,87 @@
+"""Acceptance test for ISSUE's observability criterion: one
+examples/quickstart.py run with a JSONL sink emits a
+GenerationCompleted event per NSGA-III generation and a WindowClosed
+event per scheduler window."""
+
+import json
+import subprocess
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+QUICKSTART = REPO_ROOT / "examples" / "quickstart.py"
+
+
+@pytest.fixture(scope="module")
+def events(tmp_path_factory):
+    path = tmp_path_factory.mktemp("telemetry") / "events.jsonl"
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(QUICKSTART),
+            "--telemetry",
+            f"jsonl:{path}",
+            "--population",
+            "12",
+            "--evaluations",
+            "240",
+        ],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestQuickstartTelemetry:
+    def test_stream_is_json_with_timestamps(self, events):
+        assert events
+        for payload in events:
+            assert "event" in payload
+            assert isinstance(payload["ts"], float)
+
+    def test_generation_completed_per_generation(self, events):
+        """Each NSGA-III run contributes one contiguous 0..G block of
+        generation events (quickstart part 1, plus one run per scheduler
+        window that has arrivals)."""
+        generations = [
+            e for e in events if e["event"] == "generation_completed"
+        ]
+        assert generations
+        runs = []
+        for event in generations:
+            assert event["algorithm"] == "nsga3"
+            if event["generation"] == 0:
+                runs.append([])
+            runs[-1].append(event["generation"])
+        assert len(runs) >= 3  # main allocation + >= 2 scheduler batches
+        for run in runs:
+            assert run == list(range(len(run)))
+
+    def test_window_closed_per_window(self, events):
+        windows = [e for e in events if e["event"] == "window_closed"]
+        assert [e["window_index"] for e in windows] == [0, 1, 2]
+        assert sum(e["arrivals"] for e in windows) == 3  # 3 tenants submitted
+        assert sum(e["departures"] for e in windows) == 1  # batch-job at 2.5
+        for event in windows:
+            assert event["end_time"] > event["start_time"]
+
+    def test_event_vocabulary_is_known(self, events):
+        known = {
+            "generation_completed",
+            "repair_invoked",
+            "tabu_iteration",
+            "window_closed",
+            "request_rejected",
+            "migration_planned",
+        }
+        counts = defaultdict(int)
+        for event in events:
+            counts[event["event"]] += 1
+        assert set(counts) <= known

@@ -35,7 +35,6 @@ def test_commit_release_cancel_out(instance, seed, tenants):
 @settings(max_examples=30, deadline=None)
 def test_release_order_independent(instance, seed):
     infra, request = instance
-    rng = np.random.default_rng(seed)
 
     def build(order):
         state = PlatformState(infra)

@@ -21,9 +21,8 @@ from repro.hybrid import (
     NSGA3CPAllocator,
     NSGA3TabuAllocator,
 )
-from repro.model import PlacementGroup, Request
+from repro.model import Request
 from repro.model.placement import UNPLACED
-from repro.types import PlacementRule
 
 _FAST = NSGAConfig(population_size=20, max_evaluations=400, seed=3)
 

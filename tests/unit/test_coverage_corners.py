@@ -16,7 +16,6 @@ from repro.ea import (
 )
 from repro.hybrid import NSGA3TabuAllocator
 from repro.model import Request
-from repro.model.placement import UNPLACED
 from repro.objectives import PopulationEvaluator
 from repro.types import AlgorithmKind, ConstraintHandling, ObjectiveKind, PlacementRule
 

@@ -6,7 +6,7 @@ import pytest
 from repro.constraints import ConstraintSet
 from repro.cp import CPSearch, CPSolver, DomainStore, SearchLimits
 from repro.errors import ValidationError
-from repro.model import Infrastructure, PlacementGroup, Request
+from repro.model import PlacementGroup, Request
 from repro.types import PlacementRule
 
 

@@ -1,7 +1,6 @@
 """Unit tests for instance pre-flight diagnosis."""
 
 import numpy as np
-import pytest
 
 from repro.model import AttributeSchema, PlacementGroup, Request
 from repro.model.diagnosis import diagnose_instance

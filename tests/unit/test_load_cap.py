@@ -1,7 +1,6 @@
 """Unit tests for the strict QoS load-cap constraint mode."""
 
 import numpy as np
-import pytest
 
 from repro.constraints import ConstraintSet
 from repro.constraints.load_cap import LoadCapConstraint

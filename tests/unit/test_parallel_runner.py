@@ -69,3 +69,48 @@ class TestParallelRunner:
             ParallelExperimentRunner({"ff": FirstFitAllocator}, runs=0)
         with pytest.raises(ValidationError):
             ParallelExperimentRunner({"ff": FirstFitAllocator}, n_workers=0)
+
+    def test_unpicklable_factory_rejected_up_front(self):
+        """Lambdas/closures cannot cross the process boundary; the
+        constructor fails fast and names the offending label instead of
+        exploding mid-sweep inside the pool."""
+        with pytest.raises(ValidationError, match="'sneaky_lambda'"):
+            ParallelExperimentRunner(
+                {"ff": FirstFitAllocator, "sneaky_lambda": lambda: FirstFitAllocator()},
+                runs=1,
+            )
+
+        def closure_factory():
+            return FirstFitAllocator()
+
+        with pytest.raises(ValidationError, match="'local_closure'"):
+            ParallelExperimentRunner({"local_closure": closure_factory}, runs=1)
+
+    def test_merged_telemetry_equals_sum_of_worker_snapshots(self):
+        """Acceptance criterion: the parallel sweep's merged registry
+        snapshot is exactly the sum of the per-worker snapshots — one
+        evaluation.cells count per (algorithm, spec, run) cell."""
+        runs = 2
+        result = ParallelExperimentRunner(
+            dict(_FACTORIES), runs=runs, seed=3, n_workers=2
+        ).run_sweep(_SPECS)
+        merged = result.telemetry
+        assert merged is not None
+        cells_per_label = len(_SPECS) * runs
+        for label in _FACTORIES:
+            key = f"evaluation.cells{{algorithm={label}}}"
+            assert merged.counters[key] == cells_per_label
+        assert merged.counter_total("evaluation.cells") == len(result.records)
+        summary = merged.histograms["evaluation.cell_seconds{algorithm=ff}"]
+        assert summary.count == cells_per_label
+        assert summary.total >= summary.maximum >= summary.minimum >= 0.0
+
+    def test_serial_and_parallel_counters_agree(self):
+        serial = ExperimentRunner(dict(_FACTORIES), runs=1, seed=5).run_sweep(
+            _SPECS
+        )
+        parallel = ParallelExperimentRunner(
+            dict(_FACTORIES), runs=1, seed=5, n_workers=2
+        ).run_sweep(_SPECS)
+        assert serial.telemetry is not None and parallel.telemetry is not None
+        assert serial.telemetry.counters == parallel.telemetry.counters

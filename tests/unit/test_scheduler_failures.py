@@ -8,6 +8,11 @@ from repro.baselines import FirstFitAllocator
 from repro.errors import SchedulerError
 from repro.model import Request
 from repro.scheduler import TimeWindowScheduler
+from repro.telemetry import (
+    RequestRejected,
+    WindowClosed,
+    capture_events,
+)
 
 
 def _request(n=2, scale=1.0):
@@ -106,6 +111,78 @@ class TestServerFailure:
         for key in scheduler.state.tenants():
             assignment = scheduler.state.previous_assignment(key)
             assert set(assignment.tolist()) <= {0}
+
+    def test_failure_recovery_telemetry_event_order(self, small_infra):
+        """Failure displaces + re-queues tenants, and the telemetry
+        stream reflects the windows in emission order: each window's
+        RequestRejected events precede its WindowClosed marker, and
+        window indices close in sequence."""
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        with capture_events() as sink:
+            # Window 0: two tenants arrive and are hosted.
+            scheduler.submit("a", _request(), at=0.0)
+            scheduler.submit("b", _request(), at=0.0)
+            first = scheduler.run_window()
+            assert set(first.accepted) == {"a", "b"}
+
+            # Window 1: the server hosting "a" fails -> displacement.
+            server = int(scheduler.state.previous_assignment("a")[0])
+            scheduler.schedule_failure(server, at=scheduler.clock + 0.1)
+            report = scheduler.run_window()
+            assert "a" in report.displaced
+            # The displaced tenant re-entered the same window's batch.
+            assert ("a" in report.accepted) or ("a" in report.rejected)
+
+            # Window 2: the server recovers.
+            scheduler.schedule_recovery(server, at=scheduler.clock + 0.1)
+            recovery = scheduler.run_window()
+            assert recovery.recoveries == (server,)
+
+        closed = sink.of(WindowClosed)
+        assert [e.window_index for e in closed] == [0, 1, 2]
+        assert closed[1].failures == 1
+        assert closed[1].displaced == len(report.displaced) >= 1
+        assert closed[2].recoveries == 1
+
+        # Rejections (if the displaced tenant could not be re-placed)
+        # are emitted before their window closes, tagged "displaced".
+        for rejected in sink.of(RequestRejected):
+            window_close_pos = sink.events.index(
+                next(
+                    e
+                    for e in closed
+                    if e.window_index == rejected.window_index
+                )
+            )
+            assert sink.events.index(rejected) < window_close_pos
+            if rejected.key == "a":
+                assert rejected.reason == "displaced"
+
+    def test_mass_failure_rejections_emit_displaced_reason(self, small_infra):
+        """Every server but one fails: displaced tenants that cannot be
+        re-hosted are re-queued, rejected, and reported through the bus
+        with reason='displaced'."""
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        for i in range(3):
+            scheduler.submit(f"t{i}", _request(n=4, scale=3.0), at=0.0)
+        scheduler.run_window()
+        hosted = set(scheduler.state.tenants())
+        with capture_events() as sink:
+            for server in range(1, small_infra.m):
+                scheduler.schedule_failure(server, at=scheduler.clock + 0.1)
+            report = scheduler.run_window()
+        assert report.displaced  # someone was hosted off server 0
+        rejected = sink.of(RequestRejected)
+        # Displaced-but-unplaceable tenants surface as rejections with
+        # the displaced reason; fresh-capacity rejections would say
+        # "capacity".
+        for event in rejected:
+            assert event.key in hosted
+            assert event.reason == "displaced"
+        closed = sink.of(WindowClosed)
+        assert len(closed) == 1
+        assert closed[0].rejected == len(rejected)
+        assert closed[0].failures == small_infra.m - 1
 
     def test_reoptimize_respects_failed_servers(self, small_infra):
         scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())

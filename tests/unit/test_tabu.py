@@ -6,10 +6,9 @@ import pytest
 
 from repro.constraints import ConstraintSet
 from repro.errors import ValidationError
-from repro.model import PlacementGroup, Request
+from repro.model import Request
 from repro.objectives import PopulationEvaluator
 from repro.tabu import NeighborFinder, TabuList, TabuRepair, TabuSearch
-from repro.types import PlacementRule
 
 
 class TestTabuList:

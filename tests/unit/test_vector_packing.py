@@ -1,7 +1,6 @@
 """Unit tests for the vector bin-packing baselines (FFD, dot-product)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     DotProductAllocator,

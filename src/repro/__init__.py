@@ -37,6 +37,13 @@ from repro.baselines import (
 )
 from repro.cp import CPAllocator, CPSolver, SearchLimits
 from repro.ea import NSGA2, NSGA3, NSGAConfig
+from repro.engine import (
+    CompiledProblem,
+    IncrementalEvaluator,
+    MoveScore,
+    ParityError,
+    ProblemCache,
+)
 from repro.hybrid import (
     NSGA2Allocator,
     NSGA3Allocator,
@@ -102,6 +109,12 @@ __all__ = [
     "TabuSearch",
     "solve_ilp",
     "PopulationEvaluator",
+    # engine
+    "CompiledProblem",
+    "ProblemCache",
+    "IncrementalEvaluator",
+    "MoveScore",
+    "ParityError",
     # substrates
     "FabricSpec",
     "SpineLeafFabric",

@@ -30,10 +30,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.constraints.registry import ConstraintSet
+from repro.engine import CompiledProblem, ProblemCache
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
 from repro.model.request import Request
-from repro.objectives.evaluator import PopulationEvaluator
 from repro.types import AlgorithmKind, BoolArray, FloatArray, IntArray
 
 __all__ = ["BatchOutcome", "Allocator", "per_request_rejections"]
@@ -148,6 +148,11 @@ class Allocator(abc.ABC):
     name: str = "allocator"
     #: Which of the paper's algorithm families this is.
     kind: AlgorithmKind | None = None
+    #: Compilation cache shared across windows.  The scheduler injects
+    #: one so repeated solves of the same (infrastructure, request)
+    #: instance reuse the compiled facts; standalone use lazily creates
+    #: a private cache on first :meth:`compile_problem` call.
+    problem_cache: ProblemCache | None = None
 
     @abc.abstractmethod
     def allocate(
@@ -167,6 +172,21 @@ class Allocator(abc.ABC):
         """Concatenate the window into one instance + ownership map."""
         return Request.concatenate(list(requests))
 
+    def compile_problem(
+        self, infrastructure: Infrastructure, request: Request
+    ) -> CompiledProblem:
+        """The cached compilation of one instance.
+
+        Uses :attr:`problem_cache` (injected by the scheduler, or
+        lazily created per allocator), so re-solving an already-seen
+        instance — across windows, reoptimize passes or repeated
+        ``allocate`` calls — skips the compile step entirely.
+        """
+        cache = self.problem_cache
+        if cache is None:
+            cache = self.problem_cache = ProblemCache()
+        return cache.get(infrastructure, request)
+
     def finalize(
         self,
         infrastructure: Infrastructure,
@@ -178,11 +198,12 @@ class Allocator(abc.ABC):
         previous_assignment: IntArray | None = None,
         evaluations: int = 0,
         extra: dict | None = None,
+        compiled: CompiledProblem | None = None,
     ) -> BatchOutcome:
         """Uniform post-processing: violations, objectives, rejections."""
-        evaluator = PopulationEvaluator(
-            infrastructure,
-            merged,
+        if compiled is None:
+            compiled = self.compile_problem(infrastructure, merged)
+        evaluator = compiled.evaluator(
             base_usage=base_usage,
             previous_assignment=previous_assignment,
             include_assignment_constraint=True,

@@ -71,15 +71,22 @@ class ConstraintSet:
     base_usage: FloatArray | None = None
     include_assignment: bool = True
     qos_strict: bool = False
+    #: Group constraint objects compiled once per instance (see
+    #: :class:`repro.engine.CompiledProblem`); groups are stateless
+    #: w.r.t. per-window dynamics, so sharing them is safe.
+    prebuilt_groups: tuple[Constraint, ...] | None = None
 
     def __post_init__(self) -> None:
         self.capacity = CapacityConstraint(
             self.infrastructure, self.request.demand, base_usage=self.base_usage
         )
-        self.group_constraints: tuple[Constraint, ...] = tuple(
-            make_group_constraint(gr, self.infrastructure)
-            for gr in self.request.groups
-        )
+        if self.prebuilt_groups is not None:
+            self.group_constraints: tuple[Constraint, ...] = self.prebuilt_groups
+        else:
+            self.group_constraints = tuple(
+                make_group_constraint(gr, self.infrastructure)
+                for gr in self.request.groups
+            )
         self.assignment: AssignmentConstraint | None = (
             AssignmentConstraint(self.request.n) if self.include_assignment else None
         )

@@ -76,12 +76,16 @@ class CPAllocator(Allocator):
 
         offset = 0
         for request in requests:
+            # Per-request compilation: cached across windows, so a
+            # re-submitted or re-optimized request skips the group-index
+            # and capacity precomputation entirely.
             solver = CPSolver(
                 infrastructure,
                 request,
                 base_usage=usage,
                 limits=self.limits,
                 value_order=self.value_order,
+                compiled=self.compile_problem(infrastructure, request),
             )
             solution = solver.optimize() if self.optimize else solver.find_feasible()
             total_nodes += solution.stats.nodes

@@ -70,6 +70,10 @@ class CPSearch:
         ``"spread"`` (most residual room first).
     limits:
         Node/time budget.
+    compiled:
+        Optional :class:`~repro.engine.CompiledProblem` of the same
+        instance; supplies the effective-capacity matrix, the E+U rate
+        vector and the per-VM group index without recomputation.
     """
 
     def __init__(
@@ -79,6 +83,7 @@ class CPSearch:
         base_usage: FloatArray | None = None,
         value_order: str = "cheapest",
         limits: SearchLimits | None = None,
+        compiled=None,
     ) -> None:
         if value_order not in ("index", "cheapest", "spread"):
             raise ValidationError(
@@ -88,12 +93,22 @@ class CPSearch:
         self.request = request
         self.value_order = value_order
         self.limits = limits or SearchLimits()
-        free = infrastructure.effective_capacity.copy()
+        effective = (
+            compiled.effective_capacity
+            if compiled is not None
+            else infrastructure.effective_capacity
+        )
         if base_usage is not None:
-            free = free - np.asarray(base_usage, dtype=np.float64)
+            free = effective - np.asarray(base_usage, dtype=np.float64)
+        else:
+            free = effective.copy()
         self.free_capacity = free
-        self._rate = infrastructure.operating_cost + infrastructure.usage_cost
-        self._member_groups = groups_by_member(request)
+        if compiled is not None:
+            self._rate = compiled.per_resource_rate
+            self._member_groups = [list(ids) for ids in compiled.member_groups]
+        else:
+            self._rate = infrastructure.operating_cost + infrastructure.usage_cost
+            self._member_groups = groups_by_member(request)
         self.stats = SearchStats()
 
     # ------------------------------------------------------------------

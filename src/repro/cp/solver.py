@@ -61,6 +61,10 @@ class CPSolver:
         Node/time budget per solve call.
     value_order:
         Candidate ordering heuristic (see :class:`CPSearch`).
+    compiled:
+        Optional :class:`~repro.engine.CompiledProblem` of the same
+        instance, shared with every :class:`CPSearch` this solver
+        spawns (each repair call otherwise recompiles the group index).
     """
 
     def __init__(
@@ -70,12 +74,14 @@ class CPSolver:
         base_usage: FloatArray | None = None,
         limits: SearchLimits | None = None,
         value_order: str = "cheapest",
+        compiled=None,
     ) -> None:
         self.infrastructure = infrastructure
         self.request = request
         self.base_usage = base_usage
         self.limits = limits or SearchLimits()
         self.value_order = value_order
+        self.compiled = compiled
 
     def _search(self) -> CPSearch:
         return CPSearch(
@@ -84,6 +90,7 @@ class CPSolver:
             base_usage=self.base_usage,
             value_order=self.value_order,
             limits=self.limits,
+            compiled=self.compiled,
         )
 
     # ------------------------------------------------------------------
@@ -150,14 +157,19 @@ class CPSolver:
         population = np.asarray(population, dtype=np.int64)
         if population.ndim == 1:
             return self.repair_genome(population)
-        from repro.constraints.registry import ConstraintSet
+        if self.compiled is not None:
+            constraints = self.compiled.constraint_set(
+                base_usage=self.base_usage, include_assignment=False
+            )
+        else:
+            from repro.constraints.registry import ConstraintSet
 
-        constraints = ConstraintSet(
-            self.infrastructure,
-            self.request,
-            base_usage=self.base_usage,
-            include_assignment=False,
-        )
+            constraints = ConstraintSet(
+                self.infrastructure,
+                self.request,
+                base_usage=self.base_usage,
+                include_assignment=False,
+            )
         feasible = constraints.batch_feasible(population)
         if feasible.all():
             return population

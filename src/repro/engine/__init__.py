@@ -1,0 +1,31 @@
+"""repro.engine — compiled problem instances and incremental evaluation.
+
+The evaluation core under the allocation stack, in three parts:
+
+* :class:`~repro.engine.compiled.CompiledProblem` — an immutable,
+  once-per-(infrastructure, request) compilation of the instance facts
+  every layer needs (demand/capacity matrices, group index arrays,
+  server→datacenter map, cost coefficient vectors, fingerprint);
+* :class:`~repro.engine.cache.ProblemCache` — LRU reuse of
+  compilations across windows and reoptimize passes, keyed by the
+  instance fingerprint;
+* :class:`~repro.engine.incremental.IncrementalEvaluator` — delta
+  scoring of single-VM relocations in O(attributes + groups-of-vm)
+  instead of full-genome re-evaluation, with a :meth:`verify` escape
+  hatch asserting parity against the reference evaluator.
+
+See ``docs/ENGINE.md`` for the compile/evaluate split and the
+delta-scoring contract.
+"""
+
+from repro.engine.cache import ProblemCache
+from repro.engine.compiled import CompiledProblem
+from repro.engine.incremental import IncrementalEvaluator, MoveScore, ParityError
+
+__all__ = [
+    "CompiledProblem",
+    "ProblemCache",
+    "IncrementalEvaluator",
+    "MoveScore",
+    "ParityError",
+]

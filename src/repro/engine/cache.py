@@ -1,0 +1,99 @@
+"""ProblemCache: LRU reuse of :class:`CompiledProblem` across solves.
+
+Repeated solves over a stream of windows keep presenting the scheduler
+with instances it has seen before — the reconfiguration cycle re-solves
+the *same* merged tenant set every pass, ablation sweeps re-run one
+scenario per algorithm, and benchmark harnesses replay fixed seeds.
+The cache keys compilations by the instance fingerprint so all of them
+pay the compile cost once.
+
+Telemetry (see ``docs/OBSERVABILITY.md``):
+
+* ``engine.cache.hits`` / ``engine.cache.misses`` — counter per lookup;
+* ``engine.cache.evictions`` — LRU entries dropped at capacity;
+* ``engine.cache.collisions`` — fingerprint matched but the instance
+  did not (recompiled defensively);
+* ``engine.cache.compile_seconds`` — histogram of compile cost paid on
+  misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.engine.compiled import CompiledProblem
+from repro.errors import ValidationError
+from repro.model.infrastructure import Infrastructure
+from repro.model.request import Request
+from repro.telemetry import get_registry
+
+__all__ = ["ProblemCache"]
+
+
+class ProblemCache:
+    """Bounded LRU map ``fingerprint -> CompiledProblem``.
+
+    Parameters
+    ----------
+    maxsize:
+        Entries kept; the least recently used compilation is evicted
+        beyond that.  Window streams rarely hold more than a handful of
+        live instances, so the default is deliberately small.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ValidationError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict[str, CompiledProblem] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self, infrastructure: Infrastructure, request: Request
+    ) -> CompiledProblem:
+        """The compilation for one instance (compiling on first sight)."""
+        registry = get_registry()
+        fingerprint = CompiledProblem.fingerprint_of(infrastructure, request)
+        compiled = self._entries.get(fingerprint)
+        if compiled is not None:
+            if compiled.matches(infrastructure, request):
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                registry.count("engine.cache.hits")
+                return compiled
+            # Same digest, different instance: never serve a wrong
+            # compilation — recompile and replace the poisoned slot.
+            self.collisions += 1
+            registry.count("engine.cache.collisions")
+        self.misses += 1
+        registry.count("engine.cache.misses")
+        compiled = CompiledProblem(infrastructure, request)
+        registry.observe("engine.cache.compile_seconds", compiled.compile_seconds)
+        self._entries[fingerprint] = compiled
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            registry.count("engine.cache.evictions")
+        return compiled
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def clear(self) -> None:
+        """Drop every cached compilation (counters are kept)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProblemCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,566 @@
+"""IncrementalEvaluator: O(attributes + groups-of-vm) move scoring.
+
+The tabu layers score a single-VM relocation by re-evaluating the whole
+genome — O(n·m·h) per candidate move.  But a relocation only touches
+two servers, the groups the VM belongs to, and the VM's own cost terms;
+everything else is unchanged.  This evaluator keeps the usage tensor,
+the per-constraint violation state and the three objective components
+for a *current* assignment, and exposes
+
+* :meth:`score_move` — what (violations, objectives) *would* become if
+  ``vm`` moved to ``server``, without mutating anything;
+* :meth:`apply_move` — commit the move and update the state in place;
+* :meth:`verify` — the escape hatch: assert bit-level violation parity
+  (and tight float parity on objectives) against a from-scratch
+  :class:`~repro.objectives.evaluator.PopulationEvaluator` evaluation.
+
+The per-move cost is O(h + groups-containing-vm + residents of the two
+touched servers): the capacity/knee checks are per-attribute on two
+server rows, the group recounts walk only the VM's own groups, and the
+downtime term re-prices only the tenants sharing a touched server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.model.placement import UNPLACED
+from repro.objectives.aggregate import aggregate_scalar
+from repro.objectives.qos import loads_from_usage, qos_from_load
+from repro.telemetry import get_registry
+from repro.types import FloatArray, IntArray, PlacementRule
+
+__all__ = ["IncrementalEvaluator", "MoveScore", "ParityError"]
+
+_DOWNTIME_MODES = ("shortfall", "literal")
+
+
+class ParityError(AssertionError):
+    """Raised by :meth:`IncrementalEvaluator.verify` on state drift."""
+
+
+@dataclass(frozen=True)
+class MoveScore:
+    """Post-move totals of one (candidate or applied) relocation."""
+
+    vm: int
+    server: int
+    old_server: int
+    violations: int
+    objectives: FloatArray  # (3,) in canonical objective order
+
+    def aggregate(self, weights: FloatArray | None = None) -> float:
+        """The scalar Z the move would yield (Eq. 15)."""
+        return float(aggregate_scalar(self.objectives, weights))
+
+
+class _Delta:
+    """Internal scratch: everything a move changes, precomputed once so
+    score and apply share one code path."""
+
+    __slots__ = (
+        "old",
+        "new",
+        "rows",
+        "over",
+        "knee",
+        "group_viol",
+        "cap_total",
+        "knee_total",
+        "group_total",
+        "unplaced",
+        "usage_cost",
+        "operating_active",
+        "server_penalty",
+        "downtime_total",
+        "migration_total",
+    )
+
+
+class IncrementalEvaluator:
+    """Delta evaluation of single-VM relocations for one instance.
+
+    Parameters
+    ----------
+    compiled:
+        The instance compilation (static facts).
+    assignment:
+        Starting genome; :data:`UNPLACED` genes are allowed.
+    base_usage, previous_assignment:
+        Per-window dynamics, identical in meaning to
+        :class:`~repro.objectives.evaluator.PopulationEvaluator`.
+    downtime_mode, per_server_operating, include_assignment, qos_strict:
+        Evaluation options, mirroring the reference evaluator so
+        :meth:`verify` can assert parity under any configuration.
+    """
+
+    def __init__(
+        self,
+        compiled,
+        assignment: IntArray,
+        *,
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+        downtime_mode: str = "shortfall",
+        per_server_operating: bool = False,
+        include_assignment: bool = False,
+        qos_strict: bool = False,
+    ) -> None:
+        if downtime_mode not in _DOWNTIME_MODES:
+            raise ValidationError(
+                f"downtime_mode must be one of {_DOWNTIME_MODES}, got {downtime_mode!r}"
+            )
+        self.compiled = compiled
+        self.downtime_mode = downtime_mode
+        self.per_server_operating = bool(per_server_operating)
+        self.include_assignment = bool(include_assignment)
+        self.qos_strict = bool(qos_strict)
+
+        infra = compiled.infrastructure
+        m, h = compiled.m, compiled.h
+        if base_usage is None:
+            self._base = np.zeros((m, h))
+        else:
+            self._base = np.ascontiguousarray(base_usage, dtype=np.float64)
+            if self._base.shape != (m, h):
+                raise ValidationError(
+                    f"base_usage shape {self._base.shape}, expected {(m, h)}"
+                )
+        # Capacity limits/slack mirror CapacityConstraint (tolerance 1e-9).
+        self._limit = compiled.effective_capacity - (
+            self._base if base_usage is not None else 0.0
+        )
+        self._slack = 1e-9 * np.maximum(1.0, np.abs(self._limit))
+        if qos_strict:
+            knee = infra.max_load * infra.capacity
+            if base_usage is not None:
+                knee = knee - self._base
+            self._knee_limit = knee
+            self._knee_slack = 1e-9 * np.maximum(1.0, np.abs(knee))
+        else:
+            self._knee_limit = None
+            self._knee_slack = None
+
+        if previous_assignment is not None:
+            previous_assignment = np.ascontiguousarray(
+                previous_assignment, dtype=np.int64
+            )
+            if previous_assignment.shape != (compiled.n,):
+                raise ValidationError(
+                    f"previous assignment shape {previous_assignment.shape}, "
+                    f"expected ({compiled.n},)"
+                )
+        self._previous = previous_assignment
+
+        # Scalar fast-path tables: per-move work touches length-h rows,
+        # where Python float arithmetic beats numpy's per-call dispatch
+        # by an order of magnitude.  Thresholds are precomputed with the
+        # same float ops the vectorized path uses, so the comparisons —
+        # and therefore the violation counts — stay bit-exact.
+        self._lps_list = (self._limit + self._slack).tolist()
+        if qos_strict:
+            self._kps_list = (self._knee_limit + self._knee_slack).tolist()
+        else:
+            self._kps_list = None
+        self._cap_list = np.asarray(infra.capacity, dtype=np.float64).tolist()
+        self._ml_list = np.asarray(infra.max_load, dtype=np.float64).tolist()
+        self._mq_list = np.asarray(infra.max_qos, dtype=np.float64).tolist()
+        self._base_list = self._base.tolist()
+        self._cq_list = np.asarray(
+            compiled.qos_guarantee, dtype=np.float64
+        ).tolist()
+        self._cu_list = np.asarray(
+            compiled.downtime_charge, dtype=np.float64
+        ).tolist()
+
+        # Move-scoring telemetry is batched locally (the registry lock
+        # would dominate the µs-scale hot path) — see flush_telemetry().
+        self._scored_moves = 0
+        self._applied_moves = 0
+
+        self.reset(assignment)
+
+    # ------------------------------------------------------------------
+    # From-scratch state construction
+    # ------------------------------------------------------------------
+    def reset(self, assignment: IntArray) -> None:
+        """Re-anchor the incremental state on ``assignment``."""
+        compiled = self.compiled
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (compiled.n,):
+            raise ValidationError(
+                f"assignment shape {assignment.shape}, expected ({compiled.n},)"
+            )
+        self.assignment = assignment.copy()
+        m = compiled.m
+        mask = self.assignment != UNPLACED
+        placed = self.assignment[mask]
+
+        self._usage = np.zeros_like(self._limit)
+        np.add.at(self._usage, placed, compiled.demand[mask])
+        self._over = np.count_nonzero(
+            self._usage > self._limit + self._slack, axis=1
+        ).astype(np.int64)
+        self._cap_total = int(self._over.sum())
+        if self.qos_strict:
+            self._knee_over = np.count_nonzero(
+                self._usage > self._knee_limit + self._knee_slack, axis=1
+            ).astype(np.int64)
+            self._knee_total = int(self._knee_over.sum())
+        else:
+            self._knee_over = None
+            self._knee_total = 0
+
+        self._group_viol = np.array(
+            [
+                self._group_violations(gi, self.assignment[members])
+                for gi, members in enumerate(compiled.group_members)
+            ],
+            dtype=np.int64,
+        )
+        self._group_total = int(self._group_viol.sum())
+        self._unplaced = int(np.count_nonzero(~mask))
+
+        self._residents: list[set[int]] = [set() for _ in range(m)]
+        for vm in np.flatnonzero(mask):
+            self._residents[int(self.assignment[vm])].add(int(vm))
+
+        # Downtime: price every server once, vectorized.
+        server_q = self._min_qos(self._usage)  # (m,)
+        self._server_penalty = np.zeros(m)
+        if placed.size:
+            pen = self._penalties(server_q[placed], np.flatnonzero(mask))
+            np.add.at(self._server_penalty, placed, pen)
+        self._downtime_total = float(self._server_penalty.sum())
+
+        # Usage/operating cost.
+        if self.per_server_operating:
+            usage_part = float(compiled.usage_cost[placed].sum())
+            active = np.unique(placed)
+            operating = float(compiled.operating_cost[active].sum())
+            self._usage_cost_total = usage_part + operating
+        else:
+            self._usage_cost_total = float(
+                compiled.per_resource_rate[placed].sum()
+            )
+
+        # Migration.
+        if self._previous is None:
+            self._migration_total = 0.0
+        else:
+            prev = self._previous
+            moved = (self.assignment != prev) & (prev != UNPLACED)
+            self._migration_total = float(compiled.migration_charge[moved].sum())
+
+    # ------------------------------------------------------------------
+    # Current totals
+    # ------------------------------------------------------------------
+    @property
+    def violations(self) -> int:
+        """Total constraint violations of the current assignment."""
+        total = self._cap_total + self._group_total + self._knee_total
+        if self.include_assignment:
+            total += self._unplaced
+        return int(total)
+
+    @property
+    def objectives(self) -> FloatArray:
+        """(3,) objective vector of the current assignment."""
+        return np.array(
+            [self._usage_cost_total, self._downtime_total, self._migration_total]
+        )
+
+    def aggregate(self, weights: FloatArray | None = None) -> float:
+        """The scalar Z of the current assignment (Eq. 15)."""
+        return float(aggregate_scalar(self.objectives, weights))
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+    def _group_violations(self, gi: int, genes: IntArray) -> int:
+        """Violation count of one group given its member genes —
+        semantics identical to the constraint classes."""
+        placed = genes[genes != UNPLACED]
+        if placed.size <= 1:
+            return 0
+        rule = self.compiled.group_rules[gi]
+        if rule is PlacementRule.SAME_SERVER:
+            return int(np.unique(placed).size - 1)
+        if rule is PlacementRule.SAME_DATACENTER:
+            dcs = self.compiled.server_datacenter[placed]
+            return int(np.unique(dcs).size - 1)
+        if rule is PlacementRule.DIFFERENT_SERVERS:
+            return int(placed.size - np.unique(placed).size)
+        dcs = self.compiled.server_datacenter[placed]
+        return int(placed.size - np.unique(dcs).size)
+
+    def _min_qos(self, usage: FloatArray) -> FloatArray:
+        """Worst-attribute QoS per server for a (m, h) usage array."""
+        infra = self.compiled.infrastructure
+        load = loads_from_usage(usage + self._base, infra.capacity)
+        return qos_from_load(load, infra.max_load, infra.max_qos).min(axis=-1)
+
+    def _min_qos_row(self, server: int, row_list: list[float]) -> float:
+        """Scalar Eq. 24/25 over one length-h row — same float ops as
+        :func:`loads_from_usage` / :func:`qos_from_load`, minus the
+        per-call numpy dispatch that dominates the hot path."""
+        cap = self._cap_list[server]
+        ml = self._ml_list[server]
+        mq = self._mq_list[server]
+        base = self._base_list[server]
+        best = math.inf
+        for a, u in enumerate(row_list):
+            u = u + base[a]
+            c = cap[a]
+            if c > 0.0:
+                load = u / c
+            elif u > 0.0:
+                load = math.inf
+            else:
+                load = u
+            knee = ml[a]
+            if load > knee:
+                arg = (knee - load) / (1.0 - knee)
+                q = mq[a] * math.exp(arg if arg < 0.0 else 0.0)
+            else:
+                q = mq[a]
+            if q < best:
+                best = q
+        return best
+
+    def _penalties(self, qos, resources: IntArray) -> FloatArray:
+        """Eq. 23 penalties for ``resources`` hosted at QoS ``qos``."""
+        cq = self.compiled.qos_guarantee[resources]
+        cu = self.compiled.downtime_charge[resources]
+        if self.downtime_mode == "literal":
+            return cu * (qos / cq)
+        return cu * np.maximum(0.0, (cq - qos) / cq)
+
+    def _server_penalty_value(
+        self, server: int, row_list: list[float], residents: set[int]
+    ) -> float:
+        if not residents:
+            return 0.0
+        qos = self._min_qos_row(server, row_list)
+        cq = self._cq_list
+        cu = self._cu_list
+        total = 0.0
+        if self.downtime_mode == "literal":
+            for k in sorted(residents):  # deterministic summation order
+                total += cu[k] * (qos / cq[k])
+        else:
+            for k in sorted(residents):
+                guarantee = cq[k]
+                shortfall = (guarantee - qos) / guarantee
+                if shortfall > 0.0:
+                    total += cu[k] * shortfall
+        return total
+
+    def _migration_contrib(self, vm: int, server: int) -> float:
+        if self._previous is None:
+            return 0.0
+        prev = int(self._previous[vm])
+        if prev == UNPLACED or server == prev:
+            return 0.0
+        return float(self.compiled.migration_charge[vm])
+
+    # ------------------------------------------------------------------
+    # The delta core
+    # ------------------------------------------------------------------
+    def _delta(self, vm: int, server: int) -> _Delta:
+        compiled = self.compiled
+        vm = int(vm)
+        new = int(server)
+        if not (0 <= vm < compiled.n):
+            raise ValidationError(f"vm {vm} outside [0, {compiled.n})")
+        if new != UNPLACED and not (0 <= new < compiled.m):
+            raise ValidationError(f"server {new} outside [0, {compiled.m})")
+        old = int(self.assignment[vm])
+
+        d = _Delta()
+        d.old = old
+        d.new = new
+        d.cap_total = self._cap_total
+        d.knee_total = self._knee_total
+        d.group_total = self._group_total
+        d.unplaced = self._unplaced
+        d.usage_cost = self._usage_cost_total
+        d.downtime_total = self._downtime_total
+        d.migration_total = self._migration_total
+        d.rows = {}
+        d.over = {}
+        d.knee = {}
+        d.group_viol = {}
+        d.server_penalty = {}
+        d.operating_active = None
+        if new == old:
+            return d
+
+        demand = compiled.demand[vm]
+        if old != UNPLACED:
+            d.rows[old] = self._usage[old] - demand
+        if new != UNPLACED:
+            d.rows[new] = self._usage[new] + demand
+        row_lists = {s: row.tolist() for s, row in d.rows.items()}
+
+        # Capacity (and the strict-QoS knee, when enabled): recount the
+        # over-limit cells of the two touched server rows only.  The
+        # thresholds were precomputed with the vectorized path's exact
+        # float ops, so these scalar comparisons are bit-identical.
+        for s, row_list in row_lists.items():
+            thresholds = self._lps_list[s]
+            over = sum(v > t for v, t in zip(row_list, thresholds))
+            d.over[s] = over
+            d.cap_total += over - int(self._over[s])
+            if self.qos_strict:
+                knee_thresholds = self._kps_list[s]
+                knee = sum(v > t for v, t in zip(row_list, knee_thresholds))
+                d.knee[s] = knee
+                d.knee_total += knee - int(self._knee_over[s])
+
+        # Groups containing the VM: recount with the candidate gene.
+        for gi, pos in compiled.vm_group_slots[vm]:
+            genes = self.assignment[compiled.group_members[gi]].copy()
+            genes[pos] = new
+            viol = self._group_violations(gi, genes)
+            d.group_viol[gi] = viol
+            d.group_total += viol - int(self._group_viol[gi])
+
+        # Assignment constraint (Eq. 5) when enabled.
+        d.unplaced += int(new == UNPLACED) - int(old == UNPLACED)
+
+        # Usage/operating cost.
+        if self.per_server_operating:
+            if old != UNPLACED:
+                d.usage_cost -= float(compiled.usage_cost[old])
+                if len(self._residents[old]) == 1:
+                    d.usage_cost -= float(compiled.operating_cost[old])
+            if new != UNPLACED:
+                d.usage_cost += float(compiled.usage_cost[new])
+                if not self._residents[new]:
+                    d.usage_cost += float(compiled.operating_cost[new])
+        else:
+            if old != UNPLACED:
+                d.usage_cost -= float(compiled.per_resource_rate[old])
+            if new != UNPLACED:
+                d.usage_cost += float(compiled.per_resource_rate[new])
+
+        # Downtime: re-price the residents of the two touched servers.
+        for s, row_list in row_lists.items():
+            residents = self._residents[s]
+            if s == old:
+                residents = residents - {vm}
+            elif vm not in residents:
+                residents = residents | {vm}
+            penalty = self._server_penalty_value(s, row_list, residents)
+            d.server_penalty[s] = penalty
+            d.downtime_total += penalty - float(self._server_penalty[s])
+
+        # Migration (Eq. 26).
+        d.migration_total += self._migration_contrib(
+            vm, new
+        ) - self._migration_contrib(vm, old)
+        return d
+
+    def _score_of(self, d: _Delta, vm: int) -> MoveScore:
+        violations = d.cap_total + d.group_total + d.knee_total
+        if self.include_assignment:
+            violations += d.unplaced
+        return MoveScore(
+            vm=int(vm),
+            server=d.new,
+            old_server=d.old,
+            violations=int(violations),
+            objectives=np.array(
+                [d.usage_cost, d.downtime_total, d.migration_total]
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Public move API
+    # ------------------------------------------------------------------
+    def score_move(self, vm: int, server: int) -> MoveScore:
+        """Totals after relocating ``vm`` to ``server`` — no mutation."""
+        self._scored_moves += 1
+        return self._score_of(self._delta(vm, server), vm)
+
+    def apply_move(self, vm: int, server: int) -> MoveScore:
+        """Commit the relocation and return the updated totals."""
+        d = self._delta(vm, server)
+        self._applied_moves += 1
+        if d.new == d.old:
+            return self._score_of(d, vm)
+        for s, row in d.rows.items():
+            self._usage[s] = row
+            self._over[s] = d.over[s]
+            if self.qos_strict:
+                self._knee_over[s] = d.knee[s]
+            self._server_penalty[s] = d.server_penalty[s]
+        for gi, viol in d.group_viol.items():
+            self._group_viol[gi] = viol
+        if d.old != UNPLACED:
+            self._residents[d.old].discard(int(vm))
+        if d.new != UNPLACED:
+            self._residents[d.new].add(int(vm))
+        self._cap_total = d.cap_total
+        self._knee_total = d.knee_total
+        self._group_total = d.group_total
+        self._unplaced = d.unplaced
+        self._usage_cost_total = d.usage_cost
+        self._downtime_total = d.downtime_total
+        self._migration_total = d.migration_total
+        self.assignment[vm] = d.new
+        return self._score_of(d, vm)
+
+    # ------------------------------------------------------------------
+    # Parity escape hatch
+    # ------------------------------------------------------------------
+    def reference_evaluator(self):
+        """A from-scratch evaluator configured identically."""
+        return self.compiled.evaluator(
+            base_usage=(
+                None if not self._base.any() else self._base
+            ),
+            previous_assignment=self._previous,
+            downtime_mode=self.downtime_mode,
+            per_server_operating=self.per_server_operating,
+            include_assignment_constraint=self.include_assignment,
+            qos_strict=self.qos_strict,
+        )
+
+    def verify(self, *, rtol: float = 1e-9, atol: float = 1e-9) -> None:
+        """Assert parity against a full from-scratch evaluation.
+
+        Violations must match exactly; objectives to within float
+        re-association noise (``rtol``/``atol``).  Raises
+        :class:`ParityError` on drift.
+        """
+        evaluator = self.reference_evaluator()
+        objectives, violations = evaluator.assess(self.assignment)
+        expected = objectives.as_array()
+        got = self.objectives
+        get_registry().count("engine.delta.verifications")
+        if violations != self.violations:
+            raise ParityError(
+                f"violation drift: incremental={self.violations}, "
+                f"full={violations}"
+            )
+        if not np.allclose(got, expected, rtol=rtol, atol=atol):
+            raise ParityError(
+                f"objective drift: incremental={got}, full={expected}"
+            )
+
+    # ------------------------------------------------------------------
+    def flush_telemetry(self) -> None:
+        """Fold locally batched move counters into the registry."""
+        registry = get_registry()
+        if self._scored_moves:
+            registry.count("engine.delta.score_moves", self._scored_moves)
+            self._scored_moves = 0
+        if self._applied_moves:
+            registry.count("engine.delta.apply_moves", self._applied_moves)
+            self._applied_moves = 0

@@ -26,7 +26,6 @@ from repro.ea.nsga2 import NSGA2
 from repro.ea.nsga3 import NSGA3
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
-from repro.objectives.evaluator import PopulationEvaluator
 from repro.tabu.repair import TabuRepair
 from repro.types import AlgorithmKind, FloatArray, IntArray
 from repro.utils.timers import Stopwatch
@@ -47,12 +46,15 @@ class _NSGAAllocatorBase(Allocator):
 
     # Subclasses build the engine (and its handler) per instance,
     # because repair handlers need the concrete (infrastructure,
-    # request, base_usage) triple.
+    # request, base_usage) triple.  ``compiled`` is the cached
+    # compilation of the merged instance; repair engines share it so a
+    # whole run compiles the instance exactly once.
     def _build_engine(
         self,
         infrastructure: Infrastructure,
         merged: Request,
         base_usage: FloatArray | None,
+        compiled=None,
     ):
         raise NotImplementedError
 
@@ -62,6 +64,7 @@ class _NSGAAllocatorBase(Allocator):
         infrastructure: Infrastructure,
         merged: Request,
         base_usage: FloatArray | None,
+        compiled=None,
     ) -> IntArray:
         """Hook over the chosen solution before reporting (identity by
         default; the tabu hybrid applies one final repair pass here)."""
@@ -77,17 +80,16 @@ class _NSGAAllocatorBase(Allocator):
         merged, owner = self.merge_requests(requests)
         stopwatch = Stopwatch().start()
 
-        evaluator = PopulationEvaluator(
-            infrastructure,
-            merged,
+        compiled = self.compile_problem(infrastructure, merged)
+        evaluator = compiled.evaluator(
             base_usage=base_usage,
             previous_assignment=previous_assignment,
             include_assignment_constraint=False,
         )
-        engine = self._build_engine(infrastructure, merged, base_usage)
+        engine = self._build_engine(infrastructure, merged, base_usage, compiled)
         result = engine.run(evaluator)
         assignment = self._post_process(
-            result.best_genome(), infrastructure, merged, base_usage
+            result.best_genome(), infrastructure, merged, base_usage, compiled
         )
 
         stopwatch.stop()
@@ -105,6 +107,7 @@ class _NSGAAllocatorBase(Allocator):
             previous_assignment=previous_assignment,
             evaluations=result.evaluations,
             extra=extra,
+            compiled=compiled,
         )
 
 
@@ -115,7 +118,7 @@ class NSGA2Allocator(_NSGAAllocatorBase):
     name = "nsga2"
     kind = AlgorithmKind.NSGA2
 
-    def _build_engine(self, infrastructure, merged, base_usage):
+    def _build_engine(self, infrastructure, merged, base_usage, compiled=None):
         return NSGA2(config=self.config, handler=NoHandling())
 
 
@@ -125,7 +128,7 @@ class NSGA3Allocator(_NSGAAllocatorBase):
     name = "nsga3"
     kind = AlgorithmKind.NSGA3
 
-    def _build_engine(self, infrastructure, merged, base_usage):
+    def _build_engine(self, infrastructure, merged, base_usage, compiled=None):
         return NSGA3(config=self.config, handler=NoHandling())
 
 
@@ -155,7 +158,7 @@ class NSGA3TabuAllocator(_NSGAAllocatorBase):
         self.tenure = tenure
         self.order = order
 
-    def _build_engine(self, infrastructure, merged, base_usage):
+    def _build_engine(self, infrastructure, merged, base_usage, compiled=None):
         repair = TabuRepair(
             infrastructure,
             merged,
@@ -164,10 +167,11 @@ class NSGA3TabuAllocator(_NSGAAllocatorBase):
             tenure=self.tenure,
             order=self.order,
             seed=self.config.seed,
+            compiled=compiled,
         )
         return NSGA3(config=self.config, handler=RepairHandling(repair))
 
-    def _post_process(self, assignment, infrastructure, merged, base_usage):
+    def _post_process(self, assignment, infrastructure, merged, base_usage, compiled=None):
         # One deeper repair pass on the selected solution: under
         # reduced evaluation budgets large instances can end with a few
         # residual violations that a longer tabu walk removes cheaply.
@@ -179,6 +183,7 @@ class NSGA3TabuAllocator(_NSGAAllocatorBase):
             tenure=self.tenure,
             order=self.order,
             seed=self.config.seed,
+            compiled=compiled,
         )
         return repair.repair_genome(assignment)
 
@@ -206,11 +211,12 @@ class NSGA3CPAllocator(_NSGAAllocatorBase):
             max_nodes=2_000, time_limit=0.25
         )
 
-    def _build_engine(self, infrastructure, merged, base_usage):
+    def _build_engine(self, infrastructure, merged, base_usage, compiled=None):
         solver = CPSolver(
             infrastructure,
             merged,
             base_usage=base_usage,
             limits=self.repair_limits,
+            compiled=compiled,
         )
         return NSGA3(config=self.config, handler=RepairHandling(solver.repair_population))

@@ -99,6 +99,14 @@ class DowntimeCost:
         usage = np.zeros((infra.m, infra.h))
         mask = assignment != UNPLACED
         np.add.at(usage, assignment[mask], self.request.demand[mask])
+        return self.value_from_usage(assignment, usage)
+
+    def value_from_usage(self, assignment: IntArray, usage: FloatArray) -> float:
+        """Downtime cost of one genome whose (m, h) usage matrix is
+        already known — shares the scatter-add with the capacity check
+        (the single-genome analogue of :meth:`batch`)."""
+        assignment = np.asarray(assignment, dtype=np.int64)
+        mask = assignment != UNPLACED
         server_qos = self._server_min_qos(usage)
         per_resource = np.zeros(self.request.n)
         per_resource[mask] = server_qos[assignment[mask]]

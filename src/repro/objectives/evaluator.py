@@ -72,6 +72,11 @@ class PopulationEvaluator:
     qos_strict:
         Enable the hard load-cap constraint (L <= LM) in addition to
         plain capacity (see :mod:`repro.constraints.load_cap`).
+    constraints:
+        An already-built :class:`ConstraintSet` for this instance and
+        these options (e.g. bound from a
+        :class:`repro.engine.CompiledProblem`); when given it is used
+        as-is instead of constructing a fresh one.
     """
 
     def __init__(
@@ -85,10 +90,11 @@ class PopulationEvaluator:
         per_server_operating: bool = False,
         include_assignment_constraint: bool = False,
         qos_strict: bool = False,
+        constraints: ConstraintSet | None = None,
     ) -> None:
         self.infrastructure = infrastructure
         self.request = request
-        self.constraints = ConstraintSet(
+        self.constraints = constraints if constraints is not None else ConstraintSet(
             infrastructure,
             request,
             base_usage=base_usage,
@@ -131,6 +137,34 @@ class PopulationEvaluator:
     def scalar(self, assignment: IntArray, weights: FloatArray | None = None) -> float:
         """The aggregate Z of one genome (Eq. 15)."""
         return self.evaluate(assignment).aggregate(weights)
+
+    def assess(self, assignment: IntArray) -> tuple[ObjectiveVector, int]:
+        """Objectives *and* violations of one genome in a single pass.
+
+        The usage matrix is scattered once and shared between the
+        capacity check and the downtime objective — callers that need
+        both (tabu scoring, parity verification) pay one evaluation
+        instead of two.
+        """
+        assignment = np.ascontiguousarray(assignment, dtype=np.int64)
+        self._evaluations += 1
+        capacity = self.constraints.capacity
+        usage = capacity.server_usage(assignment)
+        violations = int(
+            np.count_nonzero(usage > capacity.limit + capacity._slack)
+        )
+        for constraint in self.constraints.group_constraints:
+            violations += constraint.violations(assignment)
+        if self.constraints.load_cap is not None:
+            violations += self.constraints.load_cap.violations(assignment)
+        if self.constraints.assignment is not None:
+            violations += self.constraints.assignment.violations(assignment)
+        objectives = ObjectiveVector(
+            usage_and_operating_cost=self.usage_cost.value(assignment),
+            downtime_cost=self.downtime.value_from_usage(assignment, usage),
+            migration_cost=self.migration.value(assignment),
+        )
+        return objectives, violations
 
     # ------------------------------------------------------------------
     def evaluate_population(self, population: IntArray) -> EvaluationResult:

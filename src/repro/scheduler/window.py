@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.allocator import Allocator, BatchOutcome
+from repro.engine import ProblemCache
 from repro.errors import SchedulerError
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import Placement
@@ -75,6 +76,10 @@ class TimeWindowScheduler:
     infrastructure: Infrastructure
     allocator: Allocator
     window_length: float = 1.0
+    #: Compilation cache threaded through every window solve (and any
+    #: reoptimize-override allocator), so instances seen in earlier
+    #: windows are never recompiled.
+    problem_cache: ProblemCache = field(default_factory=ProblemCache)
     state: PlatformState = field(init=False)
     _queue: EventQueue = field(init=False, default_factory=EventQueue)
     _requests: dict[str, Request] = field(init=False, default_factory=dict)
@@ -88,6 +93,7 @@ class TimeWindowScheduler:
                 f"window_length must be > 0, got {self.window_length}"
             )
         self.state = PlatformState(self.infrastructure)
+        self.allocator.problem_cache = self.problem_cache
 
     # ------------------------------------------------------------------
     # Event submission
@@ -328,6 +334,10 @@ class TimeWindowScheduler:
         if not tenants:
             return None
         algo = allocator or self.allocator
+        # Override allocators join the scheduler's compilation cache so
+        # a reoptimize pass over already-hosted tenants reuses the
+        # windows' compiled instances.
+        algo.problem_cache = self.problem_cache
         requests = [self._requests[k] for k in tenants]
         previous_parts = [self.state.previous_assignment(k) for k in tenants]
         previous = np.concatenate(previous_parts)

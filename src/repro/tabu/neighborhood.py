@@ -85,6 +85,10 @@ class NeighborFinder:
         The problem instance.
     base_usage:
         Committed usage from earlier windows (shrinks free capacity).
+    compiled:
+        Optional :class:`~repro.engine.CompiledProblem` of the same
+        instance; when given, its effective-capacity matrix and per-VM
+        group index are reused instead of recomputed.
     """
 
     def __init__(
@@ -92,18 +96,28 @@ class NeighborFinder:
         infrastructure: Infrastructure,
         request: Request,
         base_usage: FloatArray | None = None,
+        compiled=None,
     ) -> None:
         self.infrastructure = infrastructure
         self.request = request
-        limit = infrastructure.effective_capacity
+        limit = (
+            compiled.effective_capacity
+            if compiled is not None
+            else infrastructure.effective_capacity
+        )
         if base_usage is not None:
             limit = limit - np.asarray(base_usage, dtype=np.float64)
         self.limit = limit
         # Group membership index: for each VM, the groups it belongs to.
-        self._groups_of_vm: list[list[int]] = [[] for _ in range(request.n)]
-        for gi, group in enumerate(request.groups):
-            for member in group.members:
-                self._groups_of_vm[member].append(gi)
+        if compiled is not None:
+            self._groups_of_vm: list[list[int]] = [
+                list(ids) for ids in compiled.member_groups
+            ]
+        else:
+            self._groups_of_vm = [[] for _ in range(request.n)]
+            for gi, group in enumerate(request.groups):
+                for member in group.members:
+                    self._groups_of_vm[member].append(gi)
         self._no_groups_mask = np.ones(infrastructure.m, dtype=bool)
         self._no_groups_mask.setflags(write=False)
 

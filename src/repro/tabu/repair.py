@@ -50,6 +50,11 @@ class TabuRepair:
         Neighbour preference passed to :class:`NeighborFinder`.
     seed:
         RNG for the ``"random"`` order and VM scan shuffling.
+    compiled:
+        Optional :class:`~repro.engine.CompiledProblem` of the same
+        instance; when given, the constraint set shares its prebuilt
+        group constraints and the finder reuses its compiled indexes —
+        one compilation then serves every repair call of a run.
     """
 
     def __init__(
@@ -62,22 +67,35 @@ class TabuRepair:
         order: str = "first",
         allow_worsening_moves: bool = True,
         seed=None,
+        compiled=None,
     ) -> None:
         if max_rounds < 1:
             raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
         self.infrastructure = infrastructure
         self.request = request
-        self.constraints = ConstraintSet(
-            infrastructure, request, base_usage=base_usage, include_assignment=False
+        self.compiled = compiled
+        if compiled is not None:
+            self.constraints = compiled.constraint_set(
+                base_usage=base_usage, include_assignment=False
+            )
+        else:
+            self.constraints = ConstraintSet(
+                infrastructure, request, base_usage=base_usage, include_assignment=False
+            )
+        self.finder = NeighborFinder(
+            infrastructure, request, base_usage=base_usage, compiled=compiled
         )
-        self.finder = NeighborFinder(infrastructure, request, base_usage=base_usage)
         self.max_rounds = int(max_rounds)
         self.tenure = int(tenure)
         self.order = order
         self.allow_worsening_moves = bool(allow_worsening_moves)
         self._rng = as_generator(seed)
         # E + U per server: the cheap cost proxy for ideal-point scoring.
-        self._cost_rate = infrastructure.operating_cost + infrastructure.usage_cost
+        self._cost_rate = (
+            compiled.per_resource_rate
+            if compiled is not None
+            else infrastructure.operating_cost + infrastructure.usage_cost
+        )
         self.repaired_individuals = 0
         self.moves_performed = 0
 

@@ -6,6 +6,13 @@ the ablation benches can ask "how far does the tabu component get on
 its own?".  The move neighbourhood is single-VM relocation (the same
 moves the repair performs); the aspiration criterion admits tabu moves
 that improve the best score found so far.
+
+Candidate moves are scored through the
+:class:`~repro.engine.IncrementalEvaluator` delta path — O(attributes +
+groups-of-vm) per move instead of tiling and re-evaluating whole
+genomes — and the tabu memory forbids the *candidate* move (vm, srv):
+re-entering a freshly vacated server is blocked for ``tenure``
+insertions unless the move beats the global best (aspiration).
 """
 
 from __future__ import annotations
@@ -14,10 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.compiled import CompiledProblem
+from repro.engine.incremental import IncrementalEvaluator
 from repro.errors import ValidationError
 from repro.objectives.evaluator import PopulationEvaluator
 from repro.tabu.neighborhood import TabuList
-from repro.telemetry import TabuIteration, get_bus, get_registry, span
+from repro.telemetry import TabuIteration, get_bus, get_registry
 from repro.types import FloatArray, IntArray
 from repro.utils.rng import as_generator
 from repro.utils.timers import Stopwatch
@@ -43,7 +52,9 @@ class TabuSearch:
     Parameters
     ----------
     evaluator:
-        Problem instance wrapper providing objectives and violations.
+        Problem instance wrapper providing objectives and violations;
+        its configuration (base usage, previous assignment, downtime
+        mode, strict-QoS cap) carries over to the delta scorer.
     max_iterations:
         Outer iterations (one accepted move each).
     neighborhood_size:
@@ -52,6 +63,13 @@ class TabuSearch:
         Tabu memory length.
     seed:
         RNG seed.
+    compiled:
+        Optional pre-compiled instance (compiled on demand otherwise);
+        pass it when the caller already holds one so the compilation is
+        shared.
+    verify_interval:
+        When > 0, assert delta/full parity every that many iterations
+        (the :meth:`IncrementalEvaluator.verify` escape hatch).
     """
 
     def __init__(
@@ -61,15 +79,21 @@ class TabuSearch:
         neighborhood_size: int = 32,
         tenure: int = 32,
         seed=None,
+        compiled: CompiledProblem | None = None,
+        verify_interval: int = 0,
     ) -> None:
         if max_iterations < 1:
             raise ValidationError("max_iterations must be >= 1")
         if neighborhood_size < 1:
             raise ValidationError("neighborhood_size must be >= 1")
         self.evaluator = evaluator
+        self.compiled = compiled or CompiledProblem.compile(
+            evaluator.infrastructure, evaluator.request
+        )
         self.max_iterations = int(max_iterations)
         self.neighborhood_size = int(neighborhood_size)
         self.tenure = int(tenure)
+        self.verify_interval = int(verify_interval)
         self._rng = as_generator(seed)
 
     # ------------------------------------------------------------------
@@ -88,10 +112,19 @@ class TabuSearch:
             best_aggregate=float(best_score[1]),
         )
 
-    def _score(self, assignment: IntArray) -> tuple[int, float]:
-        violations = self.evaluator.violations(assignment)
-        aggregate = float(self.evaluator.evaluate(assignment).aggregate())
-        return violations, aggregate
+    def _incremental(self, assignment: IntArray) -> IncrementalEvaluator:
+        """Delta scorer configured identically to ``self.evaluator``."""
+        constraints = self.evaluator.constraints
+        return IncrementalEvaluator(
+            self.compiled,
+            assignment,
+            base_usage=constraints.base_usage,
+            previous_assignment=self.evaluator.migration.previous_assignment,
+            downtime_mode=self.evaluator.downtime.mode,
+            per_server_operating=self.evaluator.usage_cost.per_server_operating,
+            include_assignment=constraints.assignment is not None,
+            qos_strict=constraints.load_cap is not None,
+        )
 
     def run(self, initial: IntArray) -> TabuSearchResult:
         """Search from ``initial``; returns the best placement visited."""
@@ -105,11 +138,11 @@ class TabuSearch:
 
         stopwatch = Stopwatch().start()
         tabu = TabuList(tenure=self.tenure)
-        evaluations = 0
         bus = get_bus()
 
-        current_score = self._score(current)
-        evaluations += 1
+        state = self._incremental(current)
+        current_score = (state.violations, state.aggregate())
+        evaluations = 1
         best = current.copy()
         best_score = current_score
 
@@ -117,33 +150,22 @@ class TabuSearch:
         for iterations in range(1, self.max_iterations + 1):
             vms = self._rng.integers(0, n, size=self.neighborhood_size)
             servers = self._rng.integers(0, m, size=self.neighborhood_size)
-            # Build the candidate batch, skipping no-op moves.
+            # Candidate relocations, skipping no-op moves.
             moves = [
                 (int(vm), int(srv))
                 for vm, srv in zip(vms, servers)
-                if srv != current[vm]
+                if srv != state.assignment[vm]
             ]
-            if not moves:
-                if bus.enabled:
-                    bus.emit(
-                        self._iteration_event(iterations, 0, False, best_score)
-                    )
-                continue
-            batch = np.tile(current, (len(moves), 1))
-            for row, (vm, srv) in enumerate(moves):
-                batch[row, vm] = srv
-            result = self.evaluator.evaluate_population(batch)
-            evaluations += len(moves)
-            aggregates = result.aggregate()
-
             best_move = None
             best_move_score = None
-            for row, (vm, srv) in enumerate(moves):
-                score = (int(result.violations[row]), float(aggregates[row]))
-                is_tabu = (vm, current[vm]) in tabu and srv == current[vm]
-                # Aspiration: a tabu move that beats the global best is
-                # admitted anyway.
-                if is_tabu and score >= best_score:
+            for vm, srv in moves:
+                candidate = state.score_move(vm, srv)
+                evaluations += 1
+                score = (candidate.violations, candidate.aggregate())
+                # Short-term memory forbids the candidate move itself;
+                # aspiration admits it anyway when it would beat the
+                # global best.
+                if (vm, srv) in tabu and score >= best_score:
                     continue
                 if best_move_score is None or score < best_move_score:
                     best_move = (vm, srv)
@@ -157,12 +179,15 @@ class TabuSearch:
                     )
                 continue
             vm, srv = best_move
-            tabu.add(vm, int(current[vm]))
-            current[vm] = srv
+            old = int(state.assignment[vm])
+            state.apply_move(vm, srv)
+            tabu.add(vm, old)
             current_score = best_move_score
             if current_score < best_score:
                 best_score = current_score
-                best = current.copy()
+                best = state.assignment.copy()
+            if self.verify_interval and iterations % self.verify_interval == 0:
+                state.verify()
             if bus.enabled:
                 bus.emit(
                     self._iteration_event(
@@ -171,15 +196,19 @@ class TabuSearch:
                 )
 
         stopwatch.stop()
+        state.flush_telemetry()
         registry = get_registry()
         registry.count("tabu.search.iterations", iterations)
         registry.count("tabu.search.evaluations", evaluations)
         registry.observe("tabu.search.seconds", stopwatch.elapsed)
-        final_objectives = self.evaluator.evaluate(best).as_array()
+        # One full evaluation of the winner — objectives and violations
+        # in a single pass (the usage scatter is shared, see assess()).
+        final_objectives, final_violations = self.evaluator.assess(best)
+        evaluations += 1
         return TabuSearchResult(
             assignment=best,
-            objectives=final_objectives,
-            violations=best_score[0],
+            objectives=final_objectives.as_array(),
+            violations=int(final_violations),
             iterations=iterations,
             evaluations=evaluations,
             elapsed=stopwatch.elapsed,

@@ -222,3 +222,48 @@ class TestTabuSearch:
         search = TabuSearch(evaluator, max_iterations=5)
         with pytest.raises(ValidationError):
             search.run(np.zeros(3, dtype=np.int64))
+
+
+class TestTabuMemoryRegression:
+    def test_vacated_server_not_immediately_reentered(self):
+        """Regression: the tabu check must test the *candidate* move
+        (vm, srv).  An earlier version tested (vm, current[vm]) against
+        srv == current[vm] — always false — so the short-term memory
+        never fired and a single VM on two equal servers oscillated,
+        accepting a move-back every iteration."""
+        from repro.model import AttributeSchema, Infrastructure
+        from repro.telemetry import TabuIteration, capture_events
+
+        infra = Infrastructure(
+            capacity=np.array([[10.0], [10.0]]),
+            capacity_factor=np.ones((2, 1)),
+            operating_cost=np.array([1.0, 1.0]),
+            usage_cost=np.array([0.5, 0.5]),
+            max_load=np.full((2, 1), 0.8),
+            max_qos=np.full((2, 1), 0.9),
+            server_datacenter=np.array([0, 0]),
+            schema=AttributeSchema(names=("cpu",)),
+        )
+        request = Request(
+            demand=np.array([[2.0]]),
+            qos_guarantee=np.array([0.8]),
+            downtime_cost=np.array([1.0]),
+            migration_cost=np.array([1.0]),
+            schema=infra.schema,
+        )
+        evaluator = PopulationEvaluator(infra, request)
+        search = TabuSearch(
+            evaluator,
+            max_iterations=4,
+            neighborhood_size=16,
+            tenure=8,
+            seed=0,
+        )
+        with capture_events() as sink:
+            search.run(np.array([0]))
+        accepted = [e.accepted for e in sink.of(TabuIteration)]
+        # The only admissible move is 0 -> 1.  Once taken, the reverse
+        # move (vm 0, server 0) is tabu and no better than the best, so
+        # the freshly vacated server must not be re-entered.
+        assert accepted[0] is True
+        assert not any(accepted[1:])

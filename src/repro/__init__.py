@@ -26,7 +26,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison.
 """
 
-from repro import telemetry
+from repro import telemetry, verify
 from repro.allocator import Allocator, BatchOutcome
 from repro.baselines import (
     BestFitAllocator,
@@ -42,6 +42,7 @@ from repro.engine import (
     IncrementalEvaluator,
     MoveScore,
     ParityError,
+    ParityReport,
     ProblemCache,
 )
 from repro.hybrid import (
@@ -115,6 +116,7 @@ __all__ = [
     "IncrementalEvaluator",
     "MoveScore",
     "ParityError",
+    "ParityReport",
     # substrates
     "FabricSpec",
     "SpineLeafFabric",
@@ -125,4 +127,6 @@ __all__ = [
     "ScenarioSpec",
     # observability
     "telemetry",
+    # conformance
+    "verify",
 ]

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro table2
     python -m repro table3
     python -m repro generate --servers 40 --vms 80 --out scenario.json
+    python -m repro verify   --fuzz 20 --seed 7
     python -m repro compare  --telemetry console       # live event stream
     python -m repro fig9     --telemetry jsonl:events.jsonl
 
@@ -236,6 +237,46 @@ def cmd_diagnose(args) -> int:
     return 1
 
 
+def _parse_sizes(text: str) -> tuple[tuple[int, int], ...]:
+    """``"4x8,16x32"`` → ``((4, 8), (16, 32))``."""
+    sizes = []
+    for chunk in text.split(","):
+        servers, _, vms = chunk.strip().partition("x")
+        if not vms:
+            raise argparse.ArgumentTypeError(
+                f"size {chunk!r} must look like SERVERSxVMS, e.g. 16x32"
+            )
+        sizes.append((int(servers), int(vms)))
+    return tuple(sizes)
+
+
+def _parse_perturb(text: str) -> tuple[str, float]:
+    """``"usage_cost:0.5"`` → ``("usage_cost", 0.5)`` (delta defaults 1)."""
+    term, _, delta = text.partition(":")
+    return term, float(delta) if delta else 1.0
+
+
+def cmd_verify(args) -> int:
+    from repro.telemetry import get_registry
+    from repro.verify import FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        scenarios=args.fuzz,
+        seed=args.seed,
+        sizes=args.sizes,
+        walk_detours=args.walk_detours,
+        perturb=args.perturb,
+    )
+    report = run_fuzz(config)
+    print(report.format())
+    snapshot = get_registry().format_summary()
+    verify_lines = [line for line in snapshot.splitlines() if "verify." in line]
+    if verify_lines:
+        print("\n-- verify.* telemetry --")
+        print("\n".join(verify_lines))
+    return 0 if report.ok else 1
+
+
 def cmd_generate(args) -> int:
     from repro.serialization import save_json, scenario_to_dict
 
@@ -291,9 +332,40 @@ def build_parser() -> argparse.ArgumentParser:
         ("compare", cmd_compare, "all algorithms on one scenario"),
         ("generate", cmd_generate, "dump a scenario to JSON"),
         ("diagnose", cmd_diagnose, "pre-flight feasibility checks on a scenario JSON"),
+        ("verify", cmd_verify, "cross-solver conformance fuzzing (docs/VERIFY.md)"),
     ]:
         p = sub.add_parser(name, help=help_text, parents=[common])
         p.set_defaults(func=fn)
+        if name == "verify":
+            p.add_argument(
+                "--fuzz",
+                type=int,
+                default=20,
+                metavar="N",
+                help="random scenarios to fuzz (default 20)",
+            )
+            p.add_argument(
+                "--sizes",
+                type=_parse_sizes,
+                default=((4, 8), (8, 16), (16, 32)),
+                metavar="SxV,...",
+                help="(servers)x(vms) pairs cycled across scenarios "
+                "(default 4x8,8x16,16x32)",
+            )
+            p.add_argument(
+                "--walk-detours",
+                type=int,
+                default=2,
+                help="random intermediate moves per VM in oracle walks",
+            )
+            p.add_argument(
+                "--perturb",
+                type=_parse_perturb,
+                default=None,
+                metavar="TERM[:DELTA]",
+                help="fault-inject an objective/constraint term into the "
+                "incremental path (self-test: the run must then fail)",
+            )
         if name == "fig8":
             p.add_argument(
                 "--full", action="store_true", help="include 400x800 and 800x1600"

@@ -20,12 +20,20 @@ delta-scoring contract.
 
 from repro.engine.cache import ProblemCache
 from repro.engine.compiled import CompiledProblem
-from repro.engine.incremental import IncrementalEvaluator, MoveScore, ParityError
+from repro.engine.incremental import (
+    IncrementalEvaluator,
+    MoveScore,
+    ParityDelta,
+    ParityError,
+    ParityReport,
+)
 
 __all__ = [
     "CompiledProblem",
     "ProblemCache",
     "IncrementalEvaluator",
     "MoveScore",
+    "ParityDelta",
     "ParityError",
+    "ParityReport",
 ]

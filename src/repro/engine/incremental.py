@@ -34,13 +34,102 @@ from repro.objectives.qos import loads_from_usage, qos_from_load
 from repro.telemetry import get_registry
 from repro.types import FloatArray, IntArray, PlacementRule
 
-__all__ = ["IncrementalEvaluator", "MoveScore", "ParityError"]
+__all__ = [
+    "CONSTRAINT_TERMS",
+    "OBJECTIVE_TERMS",
+    "IncrementalEvaluator",
+    "MoveScore",
+    "ParityDelta",
+    "ParityError",
+    "ParityReport",
+]
 
 _DOWNTIME_MODES = ("shortfall", "literal")
 
+#: Constraint terms tracked by the incremental state, in report order.
+CONSTRAINT_TERMS = ("capacity", "group", "load_cap", "unplaced")
+#: Objective terms in canonical OBJECTIVE_ORDER naming.
+OBJECTIVE_TERMS = ("usage_cost", "downtime", "migration")
+
 
 class ParityError(AssertionError):
-    """Raised by :meth:`IncrementalEvaluator.verify` on state drift."""
+    """Raised by :meth:`IncrementalEvaluator.verify` on state drift.
+
+    Carries the structured :class:`ParityReport` as ``report`` so
+    callers (and the differential oracle) can inspect per-term deltas
+    instead of parsing the message.
+    """
+
+    def __init__(self, message: str, report: "ParityReport | None" = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class ParityDelta:
+    """One term's incremental-vs-reference comparison.
+
+    ``kind`` is ``"constraint"`` (integer counts, compared exactly) or
+    ``"objective"`` (floats, compared to ``rtol``/``atol``).
+    """
+
+    term: str
+    kind: str
+    incremental: float
+    reference: float
+    ok: bool
+
+    @property
+    def delta(self) -> float:
+        """Signed drift (incremental minus reference)."""
+        return self.incremental - self.reference
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Structured outcome of one :meth:`IncrementalEvaluator.verify`.
+
+    Attributes
+    ----------
+    deltas:
+        Per-term comparisons: the four constraint components first
+        (:data:`CONSTRAINT_TERMS`), then the three objective terms
+        (:data:`OBJECTIVE_TERMS`).
+    rtol, atol:
+        Objective tolerances the comparison used.
+    """
+
+    deltas: tuple[ParityDelta, ...]
+    rtol: float
+    atol: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether every term matched."""
+        return all(d.ok for d in self.deltas)
+
+    @property
+    def mismatches(self) -> tuple[ParityDelta, ...]:
+        """The terms that drifted."""
+        return tuple(d for d in self.deltas if not d.ok)
+
+    def __getitem__(self, term: str) -> ParityDelta:
+        for delta in self.deltas:
+            if delta.term == term:
+                return delta
+        raise KeyError(term)
+
+    def format(self) -> str:
+        """One line per term; drifted terms flagged with ``MISMATCH``."""
+        lines = []
+        for d in self.deltas:
+            flag = "ok      " if d.ok else "MISMATCH"
+            lines.append(
+                f"{flag} {d.kind:<10} {d.term:<10} "
+                f"incremental={d.incremental:.12g} reference={d.reference:.12g} "
+                f"delta={d.delta:+.3g}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -532,27 +621,91 @@ class IncrementalEvaluator:
             qos_strict=self.qos_strict,
         )
 
-    def verify(self, *, rtol: float = 1e-9, atol: float = 1e-9) -> None:
-        """Assert parity against a full from-scratch evaluation.
+    def component_totals(self) -> dict[str, float]:
+        """The tracked per-term state: the four constraint components
+        (:data:`CONSTRAINT_TERMS`) and three objective terms
+        (:data:`OBJECTIVE_TERMS`) as one flat dict."""
+        return {
+            "capacity": float(self._cap_total),
+            "group": float(self._group_total),
+            "load_cap": float(self._knee_total),
+            "unplaced": float(self._unplaced),
+            "usage_cost": float(self._usage_cost_total),
+            "downtime": float(self._downtime_total),
+            "migration": float(self._migration_total),
+        }
 
-        Violations must match exactly; objectives to within float
-        re-association noise (``rtol``/``atol``).  Raises
-        :class:`ParityError` on drift.
-        """
+    def reference_components(self) -> dict[str, float]:
+        """The same terms recomputed from scratch by the reference
+        :class:`~repro.objectives.evaluator.PopulationEvaluator`."""
         evaluator = self.reference_evaluator()
-        objectives, violations = evaluator.assess(self.assignment)
-        expected = objectives.as_array()
-        got = self.objectives
-        get_registry().count("engine.delta.verifications")
-        if violations != self.violations:
-            raise ParityError(
-                f"violation drift: incremental={self.violations}, "
-                f"full={violations}"
+        assignment = self.assignment
+        constraints = evaluator.constraints
+        load_cap = (
+            float(constraints.load_cap.violations(assignment))
+            if constraints.load_cap is not None
+            else 0.0
+        )
+        return {
+            "capacity": float(constraints.capacity.violations(assignment)),
+            "group": float(
+                sum(c.violations(assignment) for c in constraints.group_constraints)
+            ),
+            "load_cap": load_cap,
+            "unplaced": float(np.count_nonzero(assignment == UNPLACED)),
+            "usage_cost": float(evaluator.usage_cost.value(assignment)),
+            "downtime": float(evaluator.downtime.value(assignment)),
+            "migration": float(evaluator.migration.value(assignment)),
+        }
+
+    def verify(
+        self, *, rtol: float = 1e-9, atol: float = 1e-9, strict: bool = True
+    ) -> ParityReport:
+        """Check parity against a full from-scratch evaluation.
+
+        Constraint components must match exactly; objective terms to
+        within float re-association noise (``rtol``/``atol``).  Returns
+        the structured :class:`ParityReport`; with ``strict=True`` (the
+        default) a drifted report additionally raises
+        :class:`ParityError` carrying the report.
+        """
+        incremental = self.component_totals()
+        reference = self.reference_components()
+        deltas = []
+        for term in CONSTRAINT_TERMS:
+            deltas.append(
+                ParityDelta(
+                    term=term,
+                    kind="constraint",
+                    incremental=incremental[term],
+                    reference=reference[term],
+                    ok=incremental[term] == reference[term],
+                )
             )
-        if not np.allclose(got, expected, rtol=rtol, atol=atol):
-            raise ParityError(
-                f"objective drift: incremental={got}, full={expected}"
+        for term in OBJECTIVE_TERMS:
+            deltas.append(
+                ParityDelta(
+                    term=term,
+                    kind="objective",
+                    incremental=incremental[term],
+                    reference=reference[term],
+                    ok=bool(
+                        np.isclose(
+                            incremental[term], reference[term], rtol=rtol, atol=atol
+                        )
+                    ),
+                )
             )
+        report = ParityReport(deltas=tuple(deltas), rtol=rtol, atol=atol)
+        registry = get_registry()
+        registry.count("engine.delta.verifications")
+        if not report.ok:
+            registry.count("engine.delta.parity_failures")
+            if strict:
+                raise ParityError(
+                    "incremental/full parity drift:\n" + report.format(), report
+                )
+        return report
 
     # ------------------------------------------------------------------
     def flush_telemetry(self) -> None:

@@ -1,0 +1,77 @@
+"""repro.verify — cross-solver conformance tooling.
+
+The paper's claims are comparative (Figures 7-11), so the reproduction
+stands or falls on every allocator scoring the same placement the same
+way.  This package is that guarantee, in three layers:
+
+* :mod:`repro.verify.invariants` — composable checkers of the model's
+  ground rules (capacity respected by accepted work, exactly-once
+  hosting, affinity closure, objective finiteness, Pareto-front mutual
+  non-domination);
+* :mod:`repro.verify.oracle` — a differential oracle replaying any
+  placement through the reference evaluator, the incremental move
+  path, the sparse ILP encoding + LP relaxation bound and (on small
+  instances) the complete CP search, with per-term mismatch diagnoses;
+* :mod:`repro.verify.metamorphic` + :mod:`repro.verify.fuzzer` —
+  transformation laws with provable consequences, driven over seeded
+  random scenarios (``python -m repro verify --fuzz N``).
+
+Telemetry lands in the ``verify.*`` namespace (see
+``docs/OBSERVABILITY.md``); the checker catalog, oracle semantics and
+extension guide live in ``docs/VERIFY.md``.
+"""
+
+from repro.verify.fuzzer import FuzzConfig, FuzzFailure, FuzzReport, run_fuzz
+from repro.verify.invariants import (
+    CheckContext,
+    InvariantReport,
+    InvariantViolation,
+    invariant_names,
+    register_invariant,
+    run_invariants,
+)
+from repro.verify.metamorphic import (
+    ALL_LAWS,
+    CapacityInflationLaw,
+    CostScalingLaw,
+    DuplicateRequestIdempotenceLaw,
+    LawViolation,
+    MetamorphicLaw,
+    ServerPermutationLaw,
+    run_laws,
+)
+from repro.verify.oracle import (
+    DifferentialOracle,
+    OracleMismatch,
+    OracleReport,
+    TermDelta,
+)
+
+__all__ = [
+    # invariants
+    "CheckContext",
+    "InvariantReport",
+    "InvariantViolation",
+    "invariant_names",
+    "register_invariant",
+    "run_invariants",
+    # oracle
+    "DifferentialOracle",
+    "OracleMismatch",
+    "OracleReport",
+    "TermDelta",
+    # metamorphic
+    "ALL_LAWS",
+    "MetamorphicLaw",
+    "ServerPermutationLaw",
+    "CapacityInflationLaw",
+    "CostScalingLaw",
+    "DuplicateRequestIdempotenceLaw",
+    "LawViolation",
+    "run_laws",
+    # fuzzing
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+]

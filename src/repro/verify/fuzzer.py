@@ -1,0 +1,257 @@
+"""Seeded random-scenario fuzzing over the whole conformance suite.
+
+One fuzz iteration generates a random scenario (sizes cycle through
+``FuzzConfig.sizes``; tightness, heterogeneity and affinity density are
+drawn per scenario), then drives the three conformance layers:
+
+1. **differential oracle** — a random walk of moves over the merged
+   instance, replayed through the incremental evaluator and
+   cross-checked against the reference evaluator (plus LP/CP backends
+   when the instance qualifies);
+2. **allocator invariants** — a real allocator (round robin by
+   default: deterministic and fast) places the window and its
+   :class:`~repro.allocator.BatchOutcome` must satisfy every invariant
+   in the catalog;
+3. **metamorphic laws** — the outcome's placement is pushed through
+   all four transformation laws.
+
+Everything is derived from one seed, so a failing iteration is
+reproducible from the ``(seed, index)`` pair printed in its failure
+record.  ``python -m repro verify --fuzz N --seed S`` is a thin shell
+around :func:`run_fuzz`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.allocator import Allocator
+from repro.engine import CompiledProblem
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.telemetry import get_registry
+from repro.verify.invariants import CheckContext, run_invariants
+from repro.verify.metamorphic import ALL_LAWS, run_laws
+from repro.verify.oracle import DifferentialOracle
+from repro.workloads.generator import ScenarioGenerator, ScenarioSpec
+
+__all__ = ["FuzzConfig", "FuzzFailure", "FuzzReport", "run_fuzz"]
+
+
+def _default_allocator() -> Allocator:
+    from repro.baselines.round_robin import RoundRobinAllocator
+
+    return RoundRobinAllocator()
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzing campaign.
+
+    Parameters
+    ----------
+    scenarios:
+        Iterations to run (``--fuzz N``).
+    seed:
+        Master seed; every iteration derives its own stream from it.
+    sizes:
+        (servers, vms) pairs cycled across iterations.
+    walk_detours:
+        Random intermediate moves per VM in the oracle's replay walk.
+    checkpoint_every:
+        Oracle parity checkpoint cadence along the walk.
+    allocator_factory:
+        Builds the allocator whose outcomes feed the invariant and
+        metamorphic layers.
+    perturb:
+        Fault-injection ``(term, delta)`` forwarded to the oracle
+        (self-test: the campaign must then fail).
+    """
+
+    scenarios: int = 20
+    seed: int = 0
+    sizes: tuple[tuple[int, int], ...] = ((4, 8), (8, 16), (16, 32))
+    walk_detours: int = 2
+    checkpoint_every: int = 40
+    allocator_factory: Callable[[], Allocator] = field(
+        default=_default_allocator
+    )
+    perturb: tuple[str, float] | None = None
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One reproducible conformance failure."""
+
+    index: int
+    seed: int
+    servers: int
+    vms: int
+    stage: str  #: "oracle", "invariants" or "metamorphic"
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"scenario {self.index} (seed={self.seed}, "
+            f"{self.servers}x{self.vms}) {self.stage}:\n{self.message}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` campaign."""
+
+    config: FuzzConfig
+    scenarios_run: int = 0
+    oracle_checks: int = 0
+    invariant_checks: int = 0
+    law_checks: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the campaign found nothing."""
+        return not self.failures
+
+    def format(self) -> str:
+        """Campaign summary plus every failure's diagnosis."""
+        lines = [
+            f"verify: {self.scenarios_run} scenario(s), "
+            f"{self.oracle_checks} oracle checks, "
+            f"{self.invariant_checks} invariant checks, "
+            f"{self.law_checks} metamorphic checks, "
+            f"{len(self.failures)} failure(s)"
+        ]
+        lines.extend(str(f) for f in self.failures)
+        return "\n".join(lines)
+
+
+def _random_spec(
+    rng: np.random.Generator, servers: int, vms: int
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        servers=servers,
+        datacenters=min(servers, int(rng.integers(1, 4))),
+        vms=vms,
+        tightness=float(rng.uniform(0.4, 1.1)),
+        heterogeneity=float(rng.uniform(0.0, 0.5)),
+        affinity_probability=float(rng.uniform(0.3, 0.9)),
+    )
+
+
+def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
+    """Run one fuzzing campaign; see the module docstring for shape."""
+    config = config or FuzzConfig()
+    report = FuzzReport(config=config)
+    registry = get_registry()
+    master = np.random.SeedSequence(config.seed)
+
+    for index, child in enumerate(master.spawn(config.scenarios)):
+        rng = np.random.default_rng(child)
+        servers, vms = config.sizes[index % len(config.sizes)]
+        spec = _random_spec(rng, servers, vms)
+        scenario = ScenarioGenerator(
+            spec, seed=np.random.default_rng(child.spawn(1)[0])
+        ).generate()
+        merged, owner = Request.concatenate(scenario.requests)
+        compiled = CompiledProblem.compile(scenario.infrastructure, merged)
+
+        def fail(stage: str, message: str) -> None:
+            report.failures.append(
+                FuzzFailure(
+                    index=index,
+                    seed=config.seed,
+                    servers=servers,
+                    vms=vms,
+                    stage=stage,
+                    message=message,
+                )
+            )
+
+        # 1. Differential oracle over a random target assignment (some
+        # genes deliberately unplaced) reached through a move walk.
+        target = rng.integers(0, scenario.infrastructure.m, size=merged.n)
+        target[rng.random(merged.n) < 0.1] = UNPLACED
+        with_previous = bool(rng.random() < 0.5)
+        previous = (
+            rng.integers(0, scenario.infrastructure.m, size=merged.n)
+            if with_previous
+            else None
+        )
+        oracle = DifferentialOracle(
+            scenario.infrastructure,
+            merged,
+            previous_assignment=previous,
+            downtime_mode="literal" if rng.random() < 0.3 else "shortfall",
+            per_server_operating=bool(rng.random() < 0.3),
+            compiled=compiled,
+            perturb=config.perturb,
+        )
+        oracle_report = oracle.replay(
+            target,
+            seed=rng,
+            detours=config.walk_detours,
+            checkpoint_every=config.checkpoint_every,
+        )
+        report.oracle_checks += oracle_report.checks
+        if not oracle_report.ok:
+            fail("oracle", oracle_report.format())
+
+        # 2. A real allocator's outcome must satisfy every invariant.
+        allocator = config.allocator_factory()
+        outcome = allocator.allocate(
+            scenario.infrastructure, scenario.requests
+        )
+        ctx = CheckContext(
+            infrastructure=scenario.infrastructure,
+            requests=scenario.requests,
+            outcome=outcome,
+        )
+        invariant_report = run_invariants(ctx)
+        report.invariant_checks += len(invariant_report.checked)
+        if not invariant_report.ok:
+            fail("invariants", invariant_report.format())
+
+        # 2b. Fully placed outcomes also go through the oracle with the
+        # default scoring modes, where the LP relaxation bound and the
+        # CP optimum cross-checks apply.
+        if np.all(outcome.assignment != UNPLACED):
+            outcome_oracle = DifferentialOracle(
+                scenario.infrastructure,
+                merged,
+                compiled=compiled,
+                perturb=config.perturb,
+            )
+            outcome_report = outcome_oracle.replay(
+                outcome.assignment,
+                seed=rng,
+                detours=config.walk_detours,
+                checkpoint_every=config.checkpoint_every,
+            )
+            report.oracle_checks += outcome_report.checks
+            if not outcome_report.ok:
+                fail("oracle", outcome_report.format())
+
+        # 3. Metamorphic laws over that same placement.
+        law_violations = run_laws(
+            scenario.infrastructure,
+            scenario.requests,
+            outcome.assignment,
+            rng=rng,
+            previous_assignment=previous,
+        )
+        report.law_checks += len(ALL_LAWS)
+        if law_violations:
+            fail(
+                "metamorphic",
+                "\n".join(str(v) for v in law_violations),
+            )
+
+        report.scenarios_run += 1
+        registry.count("verify.fuzz.scenarios")
+
+    registry.count("verify.fuzz.failures", len(report.failures))
+    return report

@@ -1,0 +1,362 @@
+"""Composable invariant checkers over placements and batch outcomes.
+
+Every allocator in the comparison — greedy, CP, LP, the evolutionary
+hybrids — reports through :class:`~repro.allocator.BatchOutcome`, and
+the paper's figures are only meaningful if those reports obey the
+model's ground rules regardless of which algorithm produced them.
+This module states the rules as small, independently runnable
+*invariants*:
+
+* ``assignment_well_formed`` — every gene is a valid server id or
+  :data:`~repro.model.placement.UNPLACED`, and the dense-tensor round
+  trip preserves the genome (each accepted VM hosted exactly once);
+* ``capacity_respected`` — servers hosting only *accepted* requests
+  never exceed effective capacity (accepted work must actually fit);
+* ``group_closure`` — no accepted request has a violated
+  affinity/anti-affinity group;
+* ``accepted_closure`` — the outcome's accepted mask equals the mask
+  recomputed from the assignment (rejection semantics of Figure 9);
+* ``objective_finiteness`` — the reported objective vector is finite
+  and non-negative;
+* ``pareto_front_non_domination`` — a reported front is mutually
+  non-dominated.
+
+Checkers receive a :class:`CheckContext` and *skip* (rather than fail)
+when the context lacks what they need, so one ``run_invariants`` call
+works for a bare genome, a full outcome, or a Pareto front.  Register
+additional invariants with :func:`register_invariant`; see
+``docs/VERIFY.md`` for the catalog and extension guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.allocator import BatchOutcome, per_request_rejections
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED, Placement
+from repro.model.request import Request
+from repro.telemetry import get_registry
+from repro.utils.pareto import dominance_matrix
+
+__all__ = [
+    "CheckContext",
+    "InvariantReport",
+    "InvariantViolation",
+    "invariant_names",
+    "register_invariant",
+    "run_invariants",
+]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough detail to reproduce it."""
+
+    invariant: str
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant}] {self.message}"
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of one :func:`run_invariants` sweep.
+
+    ``checked`` lists the invariants that actually ran (checkers with
+    missing context skip silently); ``violations`` the failures.
+    """
+
+    checked: tuple[str, ...]
+    violations: tuple[InvariantViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every applicable invariant held."""
+        return not self.violations
+
+    def format(self) -> str:
+        """Human-readable summary, one line per checked invariant."""
+        broken = {v.invariant for v in self.violations}
+        lines = [
+            f"{'FAIL' if name in broken else 'ok  '} {name}"
+            for name in self.checked
+        ]
+        lines.extend(f"  -> {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckContext:
+    """Everything an invariant may inspect.  Only ``infrastructure`` is
+    mandatory; checkers skip when a field they need is ``None``.
+
+    Parameters
+    ----------
+    infrastructure:
+        The provider estate the assignment refers to.
+    requests:
+        The window's request list (enables per-request semantics).
+    merged, owner:
+        The concatenated instance and resource→request map; derived
+        from ``requests`` on demand when absent.
+    assignment:
+        Flat genome over the merged instance.
+    outcome:
+        A full :class:`~repro.allocator.BatchOutcome` (its assignment
+        and accepted mask take precedence over the bare fields).
+    base_usage:
+        Committed usage from earlier windows.
+    objectives:
+        (3,) objective vector to sanity-check.
+    front_objectives:
+        (k, 3) matrix of a reported Pareto front.
+    """
+
+    infrastructure: Infrastructure
+    requests: Sequence[Request] | None = None
+    merged: Request | None = None
+    owner: np.ndarray | None = None
+    assignment: np.ndarray | None = None
+    outcome: BatchOutcome | None = None
+    base_usage: np.ndarray | None = None
+    objectives: np.ndarray | None = None
+    front_objectives: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.outcome is not None:
+            if self.assignment is None:
+                self.assignment = self.outcome.assignment
+            if self.objectives is None:
+                self.objectives = self.outcome.objectives
+        if self.merged is None and self.requests is not None:
+            self.merged, self.owner = Request.concatenate(list(self.requests))
+
+    @property
+    def accepted_resources(self) -> np.ndarray | None:
+        """Boolean mask over merged resources of *accepted* requests."""
+        if self.outcome is None or self.owner is None:
+            return None
+        return self.outcome.accepted[self.owner]
+
+
+_CHECKERS: dict[str, Callable[[CheckContext], list[InvariantViolation]]] = {}
+
+
+def register_invariant(name: str):
+    """Decorator adding a checker to the catalog under ``name``."""
+
+    def wrap(fn: Callable[[CheckContext], list[InvariantViolation]]):
+        _CHECKERS[name] = fn
+        return fn
+
+    return wrap
+
+
+def invariant_names() -> tuple[str, ...]:
+    """The registered invariant catalog, in registration order."""
+    return tuple(_CHECKERS)
+
+
+# ----------------------------------------------------------------------
+# The built-in catalog
+# ----------------------------------------------------------------------
+@register_invariant("assignment_well_formed")
+def _assignment_well_formed(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.assignment is None:
+        return []
+    out: list[InvariantViolation] = []
+    assignment = np.asarray(ctx.assignment, dtype=np.int64)
+    m = ctx.infrastructure.m
+    bad = (assignment != UNPLACED) & ((assignment < 0) | (assignment >= m))
+    if np.any(bad):
+        out.append(
+            InvariantViolation(
+                "assignment_well_formed",
+                f"genes outside [0, {m}) and not UNPLACED",
+                {"genes": np.flatnonzero(bad)[:8].tolist()},
+            )
+        )
+        return out
+    # Exactly-once hosting: the dense X_ijk round trip must preserve
+    # the genome (from_dense rejects multiply-hosted resources).
+    placement = Placement(assignment=assignment, infrastructure=ctx.infrastructure)
+    back = Placement.from_dense(placement.to_dense(), ctx.infrastructure)
+    if not np.array_equal(back.assignment, assignment):
+        out.append(
+            InvariantViolation(
+                "assignment_well_formed",
+                "dense tensor round trip changed the genome",
+                {},
+            )
+        )
+    return out
+
+
+@register_invariant("capacity_respected")
+def _capacity_respected(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.assignment is None or ctx.merged is None:
+        return []
+    accepted = ctx.accepted_resources
+    assignment = np.asarray(ctx.assignment, dtype=np.int64)
+    demand = ctx.merged.demand
+    if accepted is not None:
+        # Accepted work must fit; rejected (violating) placements are
+        # the EA baselines' documented behaviour, not an invariant break.
+        assignment = np.where(accepted, assignment, UNPLACED)
+    elif ctx.outcome is None:
+        # A bare genome may legitimately overload servers.
+        return []
+    usage = np.zeros((ctx.infrastructure.m, ctx.infrastructure.h))
+    mask = assignment != UNPLACED
+    np.add.at(usage, assignment[mask], demand[mask])
+    limit = ctx.infrastructure.effective_capacity.copy()
+    if ctx.base_usage is not None:
+        limit = limit - np.asarray(ctx.base_usage, dtype=np.float64)
+    slack = 1e-9 * np.maximum(1.0, np.abs(limit))
+    over = usage > limit + slack
+    if np.any(over):
+        servers, attrs = np.nonzero(over)
+        return [
+            InvariantViolation(
+                "capacity_respected",
+                "accepted placements overload "
+                f"{np.unique(servers).size} server(s)",
+                {
+                    "cells": list(zip(servers[:8].tolist(), attrs[:8].tolist())),
+                    "excess": (usage[over] - limit[over])[:8].tolist(),
+                },
+            )
+        ]
+    return []
+
+
+@register_invariant("group_closure")
+def _group_closure(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.assignment is None or ctx.merged is None or ctx.outcome is None:
+        return []
+    if ctx.owner is None:
+        return []
+    from repro.constraints.registry import make_group_constraint
+
+    out: list[InvariantViolation] = []
+    accepted = ctx.outcome.accepted
+    for gi, group in enumerate(ctx.merged.groups):
+        owner = int(ctx.owner[group.members[0]])
+        if not accepted[owner]:
+            continue
+        constraint = make_group_constraint(group, ctx.infrastructure)
+        violations = constraint.violations(np.asarray(ctx.assignment, np.int64))
+        if violations > 0:
+            out.append(
+                InvariantViolation(
+                    "group_closure",
+                    f"accepted request {owner} has violated group {gi} "
+                    f"({group.rule.value}, {violations} violation(s))",
+                    {"group": gi, "request": owner, "rule": group.rule.value},
+                )
+            )
+    return out
+
+
+@register_invariant("accepted_closure")
+def _accepted_closure(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.outcome is None or ctx.merged is None or ctx.owner is None:
+        return []
+    from repro.constraints.registry import ConstraintSet
+
+    cons = ConstraintSet(
+        ctx.infrastructure,
+        ctx.merged,
+        base_usage=ctx.base_usage,
+        include_assignment=True,
+    )
+    recomputed = ~per_request_rejections(
+        np.asarray(ctx.outcome.assignment, np.int64), ctx.merged, ctx.owner, cons
+    )
+    if not np.array_equal(recomputed, ctx.outcome.accepted):
+        drift = np.flatnonzero(recomputed != ctx.outcome.accepted)
+        return [
+            InvariantViolation(
+                "accepted_closure",
+                "outcome accepted mask disagrees with the mask recomputed "
+                f"from its assignment ({drift.size} request(s))",
+                {"requests": drift[:8].tolist()},
+            )
+        ]
+    return []
+
+
+@register_invariant("objective_finiteness")
+def _objective_finiteness(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.objectives is None:
+        return []
+    objectives = np.asarray(ctx.objectives, dtype=np.float64)
+    out: list[InvariantViolation] = []
+    if not np.all(np.isfinite(objectives)):
+        out.append(
+            InvariantViolation(
+                "objective_finiteness",
+                f"objective vector has non-finite entries: {objectives.tolist()}",
+                {},
+            )
+        )
+    elif np.any(objectives < 0):
+        out.append(
+            InvariantViolation(
+                "objective_finiteness",
+                f"objective vector has negative entries: {objectives.tolist()}",
+                {},
+            )
+        )
+    return out
+
+
+@register_invariant("pareto_front_non_domination")
+def _pareto_front_non_domination(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.front_objectives is None:
+        return []
+    front = np.asarray(ctx.front_objectives, dtype=np.float64)
+    if front.ndim != 2 or front.shape[0] < 2:
+        return []
+    dom = dominance_matrix(front)
+    if np.any(dom):
+        i, j = np.nonzero(dom)
+        return [
+            InvariantViolation(
+                "pareto_front_non_domination",
+                f"front point {i[0]} dominates point {j[0]}",
+                {"pairs": list(zip(i[:8].tolist(), j[:8].tolist()))},
+            )
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+def run_invariants(
+    ctx: CheckContext, names: Sequence[str] | None = None
+) -> InvariantReport:
+    """Run (a subset of) the catalog over one context.
+
+    Counts ``verify.invariants.checks`` / ``verify.invariants.violations``
+    into the telemetry registry, labelled by invariant name.
+    """
+    registry = get_registry()
+    checked: list[str] = []
+    violations: list[InvariantViolation] = []
+    for name in names if names is not None else _CHECKERS:
+        checker = _CHECKERS[name]
+        found = checker(ctx)
+        checked.append(name)
+        registry.count("verify.invariants.checks", invariant=name)
+        if found:
+            registry.count(
+                "verify.invariants.violations", len(found), invariant=name
+            )
+            violations.extend(found)
+    return InvariantReport(checked=tuple(checked), violations=tuple(violations))

@@ -1,0 +1,417 @@
+"""Metamorphic laws: scenario transformations with known consequences.
+
+Heuristic allocators have no ground truth to compare against on large
+instances — but the *model* still obeys exact relationships under
+controlled transformations of the instance.  Each law here transforms
+an (infrastructure, requests, assignment) triple and states what must
+hold afterwards.  All four laws are theorems of the Section III
+equations, not empirical observations about particular solvers, so a
+violation always indicts the evaluation stack:
+
+* :class:`ServerPermutationLaw` — relabelling servers (and mapping the
+  genome through the same permutation) leaves violations identical and
+  objectives equal up to float re-association;
+* :class:`CapacityInflationLaw` — scaling every capacity by f >= 1
+  never increases capacity violations, never rejects a previously
+  accepted request, and leaves the usage/operating objective untouched;
+* :class:`CostScalingLaw` — scaling the cost vectors E and U by f
+  scales the usage/operating objective by exactly f and leaves
+  downtime, migration and every violation count unchanged;
+* :class:`DuplicateRequestIdempotenceLaw` — appending a duplicate of a
+  request whose copies stay unplaced changes nothing: objectives and
+  non-assignment violations are identical and the original requests'
+  accept/reject decisions are preserved.
+
+Laws are checked end-to-end through the public evaluation machinery
+(:class:`~repro.objectives.evaluator.PopulationEvaluator`,
+:func:`~repro.allocator.per_request_rejections`), so they cover the
+same code every :class:`~repro.allocator.Allocator` reports through.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.allocator import per_request_rejections
+from repro.constraints.registry import ConstraintSet
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.objectives.evaluator import PopulationEvaluator
+from repro.telemetry import get_registry
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "ALL_LAWS",
+    "CapacityInflationLaw",
+    "CostScalingLaw",
+    "DuplicateRequestIdempotenceLaw",
+    "LawViolation",
+    "MetamorphicLaw",
+    "ServerPermutationLaw",
+    "run_laws",
+]
+
+
+@dataclass(frozen=True)
+class LawViolation:
+    """One broken metamorphic relationship."""
+
+    law: str
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.law}] {self.message}"
+
+
+@dataclass(frozen=True)
+class LawContext:
+    """The triple a law transforms, plus per-window dynamics."""
+
+    infrastructure: Infrastructure
+    requests: tuple[Request, ...]
+    assignment: IntArray
+    base_usage: FloatArray | None = None
+    previous_assignment: IntArray | None = None
+
+    @property
+    def merged(self) -> tuple[Request, IntArray]:
+        return Request.concatenate(list(self.requests))
+
+
+def _evaluate(
+    infrastructure: Infrastructure,
+    requests: Sequence[Request],
+    assignment: IntArray,
+    base_usage: FloatArray | None = None,
+    previous_assignment: IntArray | None = None,
+):
+    """(objectives, breakdown, rejected) through the reference stack."""
+    merged, owner = Request.concatenate(list(requests))
+    constraints = ConstraintSet(
+        infrastructure, merged, base_usage=base_usage, include_assignment=True
+    )
+    evaluator = PopulationEvaluator(
+        infrastructure,
+        merged,
+        base_usage=base_usage,
+        previous_assignment=previous_assignment,
+        include_assignment_constraint=True,
+        constraints=constraints,
+    )
+    assignment = np.asarray(assignment, dtype=np.int64)
+    objectives = evaluator.evaluate(assignment).as_array()
+    breakdown = constraints.breakdown(assignment)
+    rejected = per_request_rejections(assignment, merged, owner, constraints)
+    return objectives, breakdown, rejected
+
+
+class MetamorphicLaw(abc.ABC):
+    """One transformation with a checkable consequence."""
+
+    name: str = "law"
+
+    @abc.abstractmethod
+    def check(
+        self, ctx: LawContext, rng: np.random.Generator
+    ) -> list[LawViolation]:
+        """Apply the transformation and verify the relationship."""
+
+
+class ServerPermutationLaw(MetamorphicLaw):
+    """Server relabelling ⇒ identical scores up to relabeling."""
+
+    name = "server_permutation"
+
+    def check(self, ctx, rng):
+        infra = ctx.infrastructure
+        perm = rng.permutation(infra.m)
+        permuted = Infrastructure(
+            capacity=infra.capacity[perm],
+            capacity_factor=infra.capacity_factor[perm],
+            operating_cost=infra.operating_cost[perm],
+            usage_cost=infra.usage_cost[perm],
+            max_load=infra.max_load[perm],
+            max_qos=infra.max_qos[perm],
+            server_datacenter=infra.server_datacenter[perm],
+            schema=infra.schema,
+        )
+        # inverse[old_server] = new index of that server after perm.
+        inverse = np.empty(infra.m, dtype=np.int64)
+        inverse[perm] = np.arange(infra.m)
+        assignment = np.asarray(ctx.assignment, np.int64)
+        mapped = np.where(
+            assignment == UNPLACED, UNPLACED, inverse[assignment]
+        )
+        base = None if ctx.base_usage is None else ctx.base_usage[perm]
+        previous = (
+            None
+            if ctx.previous_assignment is None
+            else np.where(
+                ctx.previous_assignment == UNPLACED,
+                UNPLACED,
+                inverse[ctx.previous_assignment],
+            )
+        )
+
+        before = _evaluate(
+            infra, ctx.requests, assignment, ctx.base_usage, ctx.previous_assignment
+        )
+        after = _evaluate(permuted, ctx.requests, mapped, base, previous)
+        out: list[LawViolation] = []
+        if before[1] != after[1]:
+            out.append(
+                LawViolation(
+                    self.name,
+                    "violation breakdown changed under server relabeling",
+                    {"before": before[1], "after": after[1]},
+                )
+            )
+        if not np.allclose(before[0], after[0], rtol=1e-9, atol=1e-9):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "objective vector changed under server relabeling",
+                    {"before": before[0].tolist(), "after": after[0].tolist()},
+                )
+            )
+        if not np.array_equal(before[2], after[2]):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "rejection mask changed under server relabeling",
+                    {},
+                )
+            )
+        return out
+
+
+class CapacityInflationLaw(MetamorphicLaw):
+    """Capacity inflation ⇒ rejections and overloads only shrink."""
+
+    name = "capacity_inflation"
+
+    def check(self, ctx, rng):
+        factor = float(rng.uniform(1.0, 2.0))
+        infra = ctx.infrastructure
+        inflated = replace(infra, capacity=infra.capacity * factor)
+        before = _evaluate(
+            infra,
+            ctx.requests,
+            ctx.assignment,
+            ctx.base_usage,
+            ctx.previous_assignment,
+        )
+        after = _evaluate(
+            inflated,
+            ctx.requests,
+            ctx.assignment,
+            ctx.base_usage,
+            ctx.previous_assignment,
+        )
+        out: list[LawViolation] = []
+        if after[1].get("capacity", 0) > before[1].get("capacity", 0):
+            out.append(
+                LawViolation(
+                    self.name,
+                    f"capacity violations increased under x{factor:.3f} inflation",
+                    {"before": before[1], "after": after[1]},
+                )
+            )
+        if np.any(after[2] & ~before[2]):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "a previously accepted request became rejected after "
+                    f"x{factor:.3f} capacity inflation",
+                    {"requests": np.flatnonzero(after[2] & ~before[2]).tolist()},
+                )
+            )
+        if not np.isclose(after[0][0], before[0][0], rtol=1e-9):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "usage/operating cost depends on capacity (it must not)",
+                    {"before": before[0][0], "after": after[0][0]},
+                )
+            )
+        return out
+
+
+class CostScalingLaw(MetamorphicLaw):
+    """Cost-coefficient scaling ⇒ proportional usage cost, rest fixed."""
+
+    name = "cost_scaling"
+
+    def check(self, ctx, rng):
+        factor = float(rng.uniform(0.25, 4.0))
+        infra = ctx.infrastructure
+        scaled = replace(
+            infra,
+            operating_cost=infra.operating_cost * factor,
+            usage_cost=infra.usage_cost * factor,
+        )
+        before = _evaluate(
+            infra,
+            ctx.requests,
+            ctx.assignment,
+            ctx.base_usage,
+            ctx.previous_assignment,
+        )
+        after = _evaluate(
+            scaled,
+            ctx.requests,
+            ctx.assignment,
+            ctx.base_usage,
+            ctx.previous_assignment,
+        )
+        out: list[LawViolation] = []
+        if not np.isclose(after[0][0], factor * before[0][0], rtol=1e-9, atol=1e-12):
+            out.append(
+                LawViolation(
+                    self.name,
+                    f"usage cost did not scale by x{factor:.3f}",
+                    {"before": before[0][0], "after": after[0][0]},
+                )
+            )
+        if not np.allclose(after[0][1:], before[0][1:], rtol=1e-9, atol=1e-12):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "downtime/migration objectives changed under cost scaling",
+                    {"before": before[0].tolist(), "after": after[0].tolist()},
+                )
+            )
+        if before[1] != after[1] or not np.array_equal(before[2], after[2]):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "violations or rejections changed under cost scaling",
+                    {"before": before[1], "after": after[1]},
+                )
+            )
+        return out
+
+
+class DuplicateRequestIdempotenceLaw(MetamorphicLaw):
+    """Unplaced duplicate requests ⇒ scores unchanged."""
+
+    name = "duplicate_request_idempotence"
+
+    def check(self, ctx, rng):
+        requests = ctx.requests
+        duplicated = (*requests, requests[int(rng.integers(0, len(requests)))])
+        extra = duplicated[-1].n
+        assignment = np.asarray(ctx.assignment, np.int64)
+        extended = np.concatenate(
+            [assignment, np.full(extra, UNPLACED, dtype=np.int64)]
+        )
+        previous = (
+            None
+            if ctx.previous_assignment is None
+            else np.concatenate(
+                [
+                    np.asarray(ctx.previous_assignment, np.int64),
+                    np.full(extra, UNPLACED, dtype=np.int64),
+                ]
+            )
+        )
+        before = _evaluate(
+            ctx.infrastructure,
+            requests,
+            assignment,
+            ctx.base_usage,
+            ctx.previous_assignment,
+        )
+        after = _evaluate(
+            ctx.infrastructure, duplicated, extended, ctx.base_usage, previous
+        )
+        out: list[LawViolation] = []
+        if not np.allclose(after[0], before[0], rtol=1e-9, atol=1e-12):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "objectives changed after appending an unplaced duplicate",
+                    {"before": before[0].tolist(), "after": after[0].tolist()},
+                )
+            )
+        before_breakdown = dict(before[1])
+        after_breakdown = dict(after[1])
+        before_breakdown.pop("assignment", None)
+        after_breakdown.pop("assignment", None)
+        if before_breakdown != after_breakdown:
+            out.append(
+                LawViolation(
+                    self.name,
+                    "non-assignment violations changed after an unplaced "
+                    "duplicate request",
+                    {"before": before_breakdown, "after": after_breakdown},
+                )
+            )
+        if not np.array_equal(before[2], after[2][: len(requests)]):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "original requests' rejection decisions changed",
+                    {},
+                )
+            )
+        if not np.all(after[2][len(requests) :]):
+            out.append(
+                LawViolation(
+                    self.name,
+                    "an unplaced duplicate request was reported accepted",
+                    {},
+                )
+            )
+        return out
+
+
+#: The built-in laws, in documentation order.
+ALL_LAWS: tuple[MetamorphicLaw, ...] = (
+    ServerPermutationLaw(),
+    CapacityInflationLaw(),
+    CostScalingLaw(),
+    DuplicateRequestIdempotenceLaw(),
+)
+
+
+def run_laws(
+    infrastructure: Infrastructure,
+    requests: Sequence[Request],
+    assignment: IntArray,
+    *,
+    rng: np.random.Generator | None = None,
+    base_usage: FloatArray | None = None,
+    previous_assignment: IntArray | None = None,
+    laws: Sequence[MetamorphicLaw] | None = None,
+) -> list[LawViolation]:
+    """Check every law against one placement; returns all violations.
+
+    Counts ``verify.metamorphic.checks`` / ``verify.metamorphic.violations``
+    per law into the telemetry registry.
+    """
+    ctx = LawContext(
+        infrastructure=infrastructure,
+        requests=tuple(requests),
+        assignment=np.asarray(assignment, dtype=np.int64),
+        base_usage=base_usage,
+        previous_assignment=previous_assignment,
+    )
+    rng = rng or np.random.default_rng()
+    registry = get_registry()
+    violations: list[LawViolation] = []
+    for law in laws if laws is not None else ALL_LAWS:
+        found = law.check(ctx, rng)
+        registry.count("verify.metamorphic.checks", law=law.name)
+        if found:
+            registry.count(
+                "verify.metamorphic.violations", len(found), law=law.name
+            )
+            violations.extend(found)
+    return violations

@@ -1,0 +1,514 @@
+"""Differential oracle: replay one placement through every scorer.
+
+The reproduction has four independent views of what a placement is
+worth: the reference :class:`~repro.objectives.evaluator.PopulationEvaluator`
+(the paper's Figure 3 evaluation box), the
+:class:`~repro.engine.incremental.IncrementalEvaluator` move path (the
+fast scorer every search layer now rides on), the sparse ILP encoding
+of Section III (and its LP relaxation bound), and — on small instances
+— the complete CP search.  They implement the same mathematics through
+entirely different code paths, which makes them ideal mutual oracles:
+any disagreement is a bug in one of them, and the per-term deltas say
+which term drifted.
+
+:class:`DifferentialOracle` runs those comparisons for one instance:
+
+* **incremental vs reference** — the target assignment is *reached by
+  applying moves* (never by resetting), so the delta path itself is
+  exercised; per-term parity is asserted at checkpoints along the walk
+  and at the end via :meth:`IncrementalEvaluator.verify`;
+* **LP encoding vs constraint set** — a complete, constraint-feasible
+  assignment must satisfy every row of the sparse ILP, and the LP
+  relaxation optimum must lower-bound its usage/operating cost;
+* **CP vs reference** — the CP search's returned placement must be
+  feasible under the reference constraints; a CP infeasibility *proof*
+  contradicts any feasible complete assignment we hold; a proved
+  optimum lower-bounds the cost of ours.
+
+``perturb=(term, delta)`` injects a deliberate fault into the
+incremental candidate's term before comparison — the self-test hook
+behind ``python -m repro verify --perturb`` proving the oracle actually
+fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine import CompiledProblem
+from repro.engine.incremental import (
+    CONSTRAINT_TERMS,
+    OBJECTIVE_TERMS,
+    IncrementalEvaluator,
+)
+from repro.model.infrastructure import Infrastructure
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.telemetry import get_registry
+from repro.types import FloatArray, IntArray
+
+__all__ = ["DifferentialOracle", "OracleMismatch", "OracleReport", "TermDelta"]
+
+
+@dataclass(frozen=True)
+class TermDelta:
+    """One term compared between a candidate backend and the reference."""
+
+    term: str
+    reference: float
+    candidate: float
+
+    @property
+    def delta(self) -> float:
+        """Signed drift (candidate minus reference)."""
+        return self.candidate - self.reference
+
+
+@dataclass(frozen=True)
+class OracleMismatch:
+    """One disagreement between two scoring backends."""
+
+    backend: str  #: "incremental", "lp" or "cp"
+    kind: str  #: e.g. "objective", "constraint", "bound", "feasibility"
+    message: str
+    deltas: tuple[TermDelta, ...] = ()
+
+    def __str__(self) -> str:
+        lines = [f"[{self.backend}/{self.kind}] {self.message}"]
+        lines.extend(
+            f"    {d.term}: reference={d.reference:.12g} "
+            f"candidate={d.candidate:.12g} delta={d.delta:+.3g}"
+            for d in self.deltas
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class OracleReport:
+    """Everything one :meth:`DifferentialOracle.replay` call concluded."""
+
+    backends: tuple[str, ...] = ()
+    checks: int = 0
+    mismatches: list[OracleMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every backend agreed."""
+        return not self.mismatches
+
+    def format(self) -> str:
+        """Diagnosis text: backends consulted, then each mismatch."""
+        head = (
+            f"backends={','.join(self.backends)} checks={self.checks} "
+            f"mismatches={len(self.mismatches)}"
+        )
+        return "\n".join([head, *(str(m) for m in self.mismatches)])
+
+
+class DifferentialOracle:
+    """Cross-checks every scoring backend on one problem instance.
+
+    Parameters
+    ----------
+    infrastructure, request:
+        The (merged) instance.
+    base_usage, previous_assignment, downtime_mode,
+    per_server_operating, qos_strict:
+        Evaluation options, forwarded to every backend identically.
+    compiled:
+        Optional shared compilation.
+    rtol, atol:
+        Objective-parity tolerances; bound checks add ``bound_slack``
+        absolute slack for LP/CP solver tolerances.
+    cp_max_variables:
+        CP cross-check only runs when ``n * m`` is at most this (the
+        search is complete but exponential).
+    cp_limits:
+        Budget for the CP cross-check (defaults are generous for the
+        small instances the gate admits; proofs are only trusted when
+        the search ran to completion).
+    perturb:
+        Optional ``(term, delta)`` fault injection into the incremental
+        candidate — the oracle must then report a mismatch on ``term``.
+    """
+
+    def __init__(
+        self,
+        infrastructure: Infrastructure,
+        request: Request,
+        *,
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+        downtime_mode: str = "shortfall",
+        per_server_operating: bool = False,
+        qos_strict: bool = False,
+        compiled: CompiledProblem | None = None,
+        rtol: float = 1e-9,
+        atol: float = 1e-9,
+        bound_slack: float = 1e-6,
+        cp_max_variables: int = 400,
+        cp_limits=None,
+        perturb: tuple[str, float] | None = None,
+    ) -> None:
+        self.infrastructure = infrastructure
+        self.request = request
+        self.base_usage = base_usage
+        self.previous_assignment = previous_assignment
+        self.downtime_mode = downtime_mode
+        self.per_server_operating = bool(per_server_operating)
+        self.qos_strict = bool(qos_strict)
+        self.compiled = compiled or CompiledProblem.compile(infrastructure, request)
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+        self.bound_slack = float(bound_slack)
+        self.cp_max_variables = int(cp_max_variables)
+        self.cp_limits = cp_limits
+        if perturb is not None:
+            term = perturb[0]
+            if term not in CONSTRAINT_TERMS + OBJECTIVE_TERMS:
+                raise ValueError(
+                    f"unknown perturbation term {term!r}; expected one of "
+                    f"{CONSTRAINT_TERMS + OBJECTIVE_TERMS}"
+                )
+        self.perturb = perturb
+
+    # ------------------------------------------------------------------
+    def _evaluator(self):
+        return self.compiled.evaluator(
+            base_usage=self.base_usage,
+            previous_assignment=self.previous_assignment,
+            downtime_mode=self.downtime_mode,
+            per_server_operating=self.per_server_operating,
+            include_assignment_constraint=True,
+            qos_strict=self.qos_strict,
+        )
+
+    def _incremental(self, assignment: IntArray) -> IncrementalEvaluator:
+        return self.compiled.incremental(
+            assignment,
+            base_usage=self.base_usage,
+            previous_assignment=self.previous_assignment,
+            downtime_mode=self.downtime_mode,
+            per_server_operating=self.per_server_operating,
+            include_assignment=True,
+            qos_strict=self.qos_strict,
+        )
+
+    def _reference_terms(self, assignment: IntArray) -> dict[str, float]:
+        evaluator = self._evaluator()
+        constraints = evaluator.constraints
+        load_cap = (
+            float(constraints.load_cap.violations(assignment))
+            if constraints.load_cap is not None
+            else 0.0
+        )
+        return {
+            "capacity": float(constraints.capacity.violations(assignment)),
+            "group": float(
+                sum(c.violations(assignment) for c in constraints.group_constraints)
+            ),
+            "load_cap": load_cap,
+            "unplaced": float(np.count_nonzero(assignment == UNPLACED)),
+            "usage_cost": float(evaluator.usage_cost.value(assignment)),
+            "downtime": float(evaluator.downtime.value(assignment)),
+            "migration": float(evaluator.migration.value(assignment)),
+        }
+
+    def _compare_terms(
+        self,
+        reference: dict[str, float],
+        candidate: dict[str, float],
+        report: OracleReport,
+        where: str,
+    ) -> None:
+        bad: list[TermDelta] = []
+        for term in CONSTRAINT_TERMS:
+            report.checks += 1
+            if candidate[term] != reference[term]:
+                bad.append(TermDelta(term, reference[term], candidate[term]))
+        for term in OBJECTIVE_TERMS:
+            report.checks += 1
+            if not np.isclose(
+                candidate[term], reference[term], rtol=self.rtol, atol=self.atol
+            ):
+                bad.append(TermDelta(term, reference[term], candidate[term]))
+        if bad:
+            report.mismatches.append(
+                OracleMismatch(
+                    backend="incremental",
+                    kind="per-term",
+                    message=f"delta state drifted from the reference ({where})",
+                    deltas=tuple(bad),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Incremental backend
+    # ------------------------------------------------------------------
+    def _check_incremental(
+        self,
+        target: IntArray,
+        rng: np.random.Generator,
+        report: OracleReport,
+        detours: int,
+        checkpoint_every: int,
+    ) -> None:
+        n, m = self.compiled.n, self.compiled.m
+        start = np.full(n, UNPLACED, dtype=np.int64)
+        state = self._incremental(start)
+
+        moves: list[tuple[int, int]] = []
+        for vm in rng.permutation(n):
+            for _ in range(detours):
+                moves.append((int(vm), int(rng.integers(0, m))))
+            moves.append((int(vm), int(target[vm])))
+
+        since_checkpoint = 0
+        for vm, server in moves:
+            preview = state.score_move(vm, server)
+            committed = state.apply_move(vm, server)
+            report.checks += 1
+            if preview.violations != committed.violations or not np.allclose(
+                preview.objectives, committed.objectives
+            ):
+                report.mismatches.append(
+                    OracleMismatch(
+                        backend="incremental",
+                        kind="score-apply",
+                        message=(
+                            f"score_move({vm}, {server}) disagrees with the "
+                            "committed apply_move totals"
+                        ),
+                    )
+                )
+            since_checkpoint += 1
+            if checkpoint_every and since_checkpoint >= checkpoint_every:
+                since_checkpoint = 0
+                self._compare_terms(
+                    self._reference_terms(state.assignment),
+                    state.component_totals(),
+                    report,
+                    where=f"mid-walk after {len(moves)} moves",
+                )
+
+        if not np.array_equal(state.assignment, np.asarray(target, np.int64)):
+            report.mismatches.append(
+                OracleMismatch(
+                    backend="incremental",
+                    kind="replay",
+                    message="move replay did not reach the target assignment",
+                )
+            )
+            return
+
+        candidate = state.component_totals()
+        if self.perturb is not None:
+            term, delta = self.perturb
+            candidate[term] = candidate[term] + delta
+        self._compare_terms(
+            self._reference_terms(state.assignment),
+            candidate,
+            report,
+            where="end of walk",
+        )
+
+    # ------------------------------------------------------------------
+    # LP backend
+    # ------------------------------------------------------------------
+    def _encode(self, assignment: IntArray, n: int, m: int) -> FloatArray:
+        x = np.zeros(n * m)
+        x[np.arange(n) * m + assignment] = 1.0
+        return x
+
+    def _check_lp(
+        self, assignment: IntArray, feasible: bool, usage_cost: float, report: OracleReport
+    ) -> None:
+        from repro.lp.model import ILPModel
+        from scipy.optimize import linprog
+
+        model = ILPModel.build(
+            self.infrastructure, self.request, base_usage=self.base_usage
+        )
+        x = self._encode(assignment, model.n, model.m)
+        report.checks += 1
+        if feasible and not model.check(x):
+            report.mismatches.append(
+                OracleMismatch(
+                    backend="lp",
+                    kind="feasibility",
+                    message=(
+                        "assignment is feasible under the constraint set but "
+                        "violates a row of the sparse ILP encoding"
+                    ),
+                )
+            )
+        integral_cost = float(model.objective @ x)
+        report.checks += 1
+        if not np.isclose(
+            integral_cost, usage_cost, rtol=self.rtol, atol=self.atol
+        ):
+            report.mismatches.append(
+                OracleMismatch(
+                    backend="lp",
+                    kind="objective",
+                    message="ILP objective disagrees with Eq. 22 usage cost",
+                    deltas=(TermDelta("usage_cost", usage_cost, integral_cost),),
+                )
+            )
+        if not feasible:
+            return
+        relaxed = linprog(
+            c=model.objective,
+            A_ub=model.a_ub,
+            b_ub=model.b_ub,
+            A_eq=model.a_eq,
+            b_eq=model.b_eq,
+            bounds=(0, 1),
+            method="highs",
+        )
+        if relaxed.status != 0:  # pragma: no cover - solver hiccup
+            return
+        report.checks += 1
+        if relaxed.fun > usage_cost + self.bound_slack:
+            report.mismatches.append(
+                OracleMismatch(
+                    backend="lp",
+                    kind="bound",
+                    message=(
+                        "LP relaxation optimum exceeds the cost of a feasible "
+                        "integral placement (bound violated)"
+                    ),
+                    deltas=(TermDelta("usage_cost", usage_cost, float(relaxed.fun)),),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # CP backend
+    # ------------------------------------------------------------------
+    def _check_cp(
+        self, feasible: bool, usage_cost: float, report: OracleReport
+    ) -> None:
+        from repro.cp.search import SearchLimits
+        from repro.cp.solver import CPSolver
+
+        limits = self.cp_limits or SearchLimits(max_nodes=20_000, time_limit=5.0)
+        solver = CPSolver(
+            self.infrastructure,
+            self.request,
+            base_usage=self.base_usage,
+            limits=limits,
+        )
+        solution = solver.optimize()
+        if solution.found:
+            cp_terms = self._reference_terms(np.asarray(solution.assignment))
+            non_assignment = (
+                cp_terms["capacity"] + cp_terms["group"] + cp_terms["load_cap"]
+            )
+            report.checks += 1
+            if cp_terms["unplaced"] or (
+                non_assignment and not self.qos_strict
+            ):
+                report.mismatches.append(
+                    OracleMismatch(
+                        backend="cp",
+                        kind="feasibility",
+                        message=(
+                            "CP returned a placement the reference constraint "
+                            "set rejects"
+                        ),
+                        deltas=tuple(
+                            TermDelta(t, 0.0, cp_terms[t])
+                            for t in ("capacity", "group", "unplaced")
+                            if cp_terms[t]
+                        ),
+                    )
+                )
+            if feasible and solution.proved:
+                report.checks += 1
+                if solution.cost > usage_cost + self.bound_slack:
+                    report.mismatches.append(
+                        OracleMismatch(
+                            backend="cp",
+                            kind="bound",
+                            message=(
+                                "CP proved an optimum costlier than a feasible "
+                                "placement we hold"
+                            ),
+                            deltas=(
+                                TermDelta("usage_cost", usage_cost, solution.cost),
+                            ),
+                        )
+                    )
+        elif solution.proved and feasible:
+            report.checks += 1
+            report.mismatches.append(
+                OracleMismatch(
+                    backend="cp",
+                    kind="feasibility",
+                    message=(
+                        "CP proved infeasibility, but the assignment under "
+                        "test is feasible and complete"
+                    ),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        assignment: IntArray,
+        *,
+        seed=None,
+        detours: int = 2,
+        checkpoint_every: int = 50,
+        lp: bool = True,
+        cp: bool = True,
+    ) -> OracleReport:
+        """Cross-check ``assignment`` through every applicable backend.
+
+        The incremental backend always runs (the assignment is reached
+        through ``detours + 1`` moves per VM from an empty placement).
+        The LP checks run for fully placed assignments when SciPy's LP
+        stack imports and the scalar usage-cost mode is in effect; the
+        CP check additionally requires ``n * m <= cp_max_variables``.
+        """
+        target = np.asarray(assignment, dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        report = OracleReport()
+        backends = ["incremental"]
+        registry = get_registry()
+
+        self._check_incremental(
+            target, rng, report, detours=detours, checkpoint_every=checkpoint_every
+        )
+
+        reference = self._reference_terms(target)
+        complete = reference["unplaced"] == 0
+        feasible = complete and (
+            reference["capacity"] + reference["group"] + reference["load_cap"] == 0
+        )
+        scalar_cost_mode = not self.per_server_operating and not self.qos_strict
+
+        if lp and complete and scalar_cost_mode:
+            try:
+                self._check_lp(
+                    target, feasible, reference["usage_cost"], report
+                )
+                backends.append("lp")
+            except ImportError:  # pragma: no cover - scipy always bundled
+                pass
+        if (
+            cp
+            and scalar_cost_mode
+            and self.compiled.n * self.compiled.m <= self.cp_max_variables
+        ):
+            self._check_cp(feasible, reference["usage_cost"], report)
+            backends.append("cp")
+
+        report.backends = tuple(backends)
+        registry.count("verify.oracle.replays")
+        registry.count("verify.oracle.checks", report.checks)
+        for mismatch in report.mismatches:
+            registry.count("verify.oracle.mismatches", backend=mismatch.backend)
+        return report

@@ -1,8 +1,14 @@
 """Property tests: the incremental evaluator must track a from-scratch
 evaluation exactly (violations) / to float noise (objectives) under any
-random walk of relocations, on arbitrary instances and configurations."""
+random walk of relocations, on arbitrary instances and configurations.
+
+The long-walk parity checks are routed through the
+:class:`repro.verify.DifferentialOracle`, which owns the per-term
+comparison logic (and is itself under test here: zero mismatches over
+hundreds of moves on three scenario sizes)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,6 +16,8 @@ from repro.engine import CompiledProblem
 from repro.model import AttributeSchema, Infrastructure, PlacementGroup, Request
 from repro.model.placement import UNPLACED
 from repro.types import PlacementRule
+from repro.verify import DifferentialOracle
+from repro.workloads import ScenarioGenerator, ScenarioSpec
 
 
 @st.composite
@@ -114,6 +122,11 @@ def test_random_walk_tracks_reference(
             state.objectives, objectives.as_array(), rtol=1e-9, atol=1e-9
         ), f"step {step}"
 
+    # Structured parity at the end of the walk: every per-term delta of
+    # the verify() report must be clean.
+    report = state.verify(strict=False)
+    assert report.ok, report.format()
+
 
 @given(instances(), st.integers(0, 2**31 - 1))
 @settings(max_examples=25, deadline=None)
@@ -139,3 +152,35 @@ def test_score_move_equals_full_rescore(instance, seed):
             preview.objectives, objectives.as_array(), rtol=1e-9, atol=1e-9
         )
         assert np.array_equal(state.assignment, genome)
+
+
+# ----------------------------------------------------------------------
+# Differential-oracle walks on generated scenarios (three sizes).
+# These replace the former ad-hoc parity loops for realistic instances:
+# the oracle reaches a random target assignment through 200+ apply_move
+# steps, checkpoints per-term parity along the way, and must report
+# zero mismatches.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("servers,vms", [(8, 16), (16, 32), (32, 64)])
+def test_differential_oracle_long_walks(servers, vms):
+    spec = ScenarioSpec(
+        servers=servers, datacenters=2, vms=vms, tightness=0.85
+    )
+    scenario = ScenarioGenerator(spec, seed=servers).generate()
+    merged, _owner = Request.concatenate(scenario.requests)
+    rng = np.random.default_rng(1000 + servers)
+
+    target = rng.integers(0, servers, size=merged.n)
+    target[rng.random(merged.n) < 0.1] = UNPLACED
+    previous = rng.integers(0, servers, size=merged.n)
+
+    oracle = DifferentialOracle(
+        scenario.infrastructure, merged, previous_assignment=previous
+    )
+    detours = max(2, -(-200 // merged.n))  # ceil: walk length >= 200 moves
+    assert (detours + 1) * merged.n >= 200
+    report = oracle.replay(
+        target, seed=rng, detours=detours, checkpoint_every=50, cp=False
+    )
+    assert report.ok, report.format()
+    assert report.checks >= (detours + 1) * merged.n

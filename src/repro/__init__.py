@@ -38,9 +38,11 @@ from repro.baselines import (
 from repro.cp import CPAllocator, CPSolver, SearchLimits
 from repro.ea import NSGA2, NSGA3, NSGAConfig
 from repro.engine import (
+    ChunkedPopulationEvaluator,
     CompiledProblem,
     IncrementalEvaluator,
     MoveScore,
+    ParallelEngine,
     ParityError,
     ParityReport,
     ProblemCache,
@@ -113,6 +115,8 @@ __all__ = [
     # engine
     "CompiledProblem",
     "ProblemCache",
+    "ParallelEngine",
+    "ChunkedPopulationEvaluator",
     "IncrementalEvaluator",
     "MoveScore",
     "ParityError",

@@ -30,7 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.constraints.registry import ConstraintSet
-from repro.engine import CompiledProblem, ProblemCache
+from repro.engine import CompiledProblem, ParallelEngine, ProblemCache
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
 from repro.model.request import Request
@@ -153,6 +153,12 @@ class Allocator(abc.ABC):
     #: instance reuse the compiled facts; standalone use lazily creates
     #: a private cache on first :meth:`compile_problem` call.
     problem_cache: ProblemCache | None = None
+    #: Intra-run parallel execution engine (worker pool + shared-memory
+    #: instances).  ``None`` = serial.  The scheduler can inject one so
+    #: the pool persists across windows; EA allocators also create one
+    #: lazily when their config asks for workers.  Whoever triggered
+    #: creation should call :meth:`close` when done.
+    execution_engine: ParallelEngine | None = None
 
     @abc.abstractmethod
     def allocate(
@@ -186,6 +192,17 @@ class Allocator(abc.ABC):
         if cache is None:
             cache = self.problem_cache = ProblemCache()
         return cache.get(infrastructure, request)
+
+    def close(self) -> None:
+        """Release the execution engine (pool + shared memory), if any.
+
+        Safe to call repeatedly; allocators without an engine are
+        unaffected.  Serial operation continues to work afterwards.
+        """
+        engine = self.execution_engine
+        if engine is not None:
+            engine.close()
+            self.execution_engine = None
 
     def finalize(
         self,

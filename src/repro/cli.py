@@ -56,6 +56,7 @@ def _factories(args, include_cp_hybrid: bool = False) -> dict[str, Callable]:
         population_size=args.population,
         max_evaluations=args.evaluations,
         seed=args.seed,
+        n_workers=getattr(args, "workers", 0),
     )
     factories: dict[str, Callable] = {
         "round_robin": lambda: RoundRobinAllocator(),
@@ -256,9 +257,24 @@ def _parse_perturb(text: str) -> tuple[str, float]:
     return term, float(delta) if delta else 1.0
 
 
+def _parse_workers(text: str) -> tuple[int, ...]:
+    """``"1,2,4"`` → ``(1, 2, 4)``."""
+    try:
+        counts = tuple(int(chunk) for chunk in text.split(",") if chunk.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"worker list {text!r} must be comma-separated integers"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be >= 1, got {text!r}"
+        )
+    return counts
+
+
 def cmd_verify(args) -> int:
     from repro.telemetry import get_registry
-    from repro.verify import FuzzConfig, run_fuzz
+    from repro.verify import FuzzConfig, check_parallel_determinism, run_fuzz
 
     config = FuzzConfig(
         scenarios=args.fuzz,
@@ -269,12 +285,20 @@ def cmd_verify(args) -> int:
     )
     report = run_fuzz(config)
     print(report.format())
+    ok = report.ok
+    if args.check_parallel is not None:
+        parallel_report = check_parallel_determinism(
+            args.check_parallel, seed=args.seed
+        )
+        print()
+        print(parallel_report.format())
+        ok = ok and parallel_report.ok
     snapshot = get_registry().format_summary()
     verify_lines = [line for line in snapshot.splitlines() if "verify." in line]
     if verify_lines:
         print("\n-- verify.* telemetry --")
         print("\n".join(verify_lines))
-    return 0 if report.ok else 1
+    return 0 if ok else 1
 
 
 def cmd_generate(args) -> int:
@@ -307,6 +331,15 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--tightness", type=float, default=0.65)
     common.add_argument("--population", type=int, default=20)
     common.add_argument("--evaluations", type=int, default=600)
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for the intra-run parallel engine "
+        "(0 = serial, the default; results are byte-identical either "
+        "way — see docs/PARALLEL.md)",
+    )
     common.add_argument(
         "--include-cp-hybrid",
         action="store_true",
@@ -365,6 +398,14 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="TERM[:DELTA]",
                 help="fault-inject an objective/constraint term into the "
                 "incremental path (self-test: the run must then fail)",
+            )
+            p.add_argument(
+                "--check-parallel",
+                type=_parse_workers,
+                default=None,
+                metavar="W1,W2,...",
+                help="also prove serial-vs-parallel byte-identity of the "
+                "execution engine at these worker counts (docs/PARALLEL.md)",
             )
         if name == "fig8":
             p.add_argument(

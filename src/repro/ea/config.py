@@ -61,6 +61,16 @@ class NSGAConfig:
         protocol).
     seed:
         RNG seed for the run.
+    n_workers:
+        Worker processes for the intra-run parallel execution engine
+        (``0`` = serial, the default).  Results are byte-identical to
+        the serial path for a given seed regardless of worker count;
+        see ``docs/PARALLEL.md``.
+    parallel_eval_min_pop:
+        When set (and ``n_workers >= 2``), population evaluations of at
+        least this many genomes are chunked across the worker pool.
+        ``None`` keeps evaluation in-process (repair fan-out alone is
+        usually the win at Table III population sizes).
     """
 
     population_size: int = 100
@@ -75,6 +85,8 @@ class NSGAConfig:
     time_limit: float | None = None
     stall_generations: int | None = None
     seed: int | None = None
+    n_workers: int = 0
+    parallel_eval_min_pop: int | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -105,6 +117,12 @@ class NSGAConfig:
             raise ValidationError("time_limit must be > 0 when set")
         if self.stall_generations is not None and self.stall_generations < 1:
             raise ValidationError("stall_generations must be >= 1 when set")
+        if self.n_workers < 0:
+            raise ValidationError(
+                f"n_workers must be >= 0, got {self.n_workers}"
+            )
+        if self.parallel_eval_min_pop is not None and self.parallel_eval_min_pop < 1:
+            raise ValidationError("parallel_eval_min_pop must be >= 1 when set")
 
     def with_(self, **changes) -> "NSGAConfig":
         """Functional update (frozen dataclass convenience)."""

@@ -14,7 +14,7 @@ from repro.ea.constraint_handling import ConstraintHandler
 from repro.ea.nsga_base import NSGABase
 from repro.ea.operators.selection import binary_tournament, random_mating_pool
 from repro.ea.population import Population
-from repro.ea.reference_points import ReferencePointNiching, das_dennis_points
+from repro.ea.reference_points import niching_for
 from repro.types import FloatArray, IntArray
 
 __all__ = ["NSGA3"]
@@ -33,10 +33,11 @@ class NSGA3(NSGABase):
         n_objectives: int = 3,
     ) -> None:
         super().__init__(config=config, handler=handler, track_history=track_history)
-        points = das_dennis_points(
+        # Memoized by lattice shape: repeated runs (sweeps, windows)
+        # share one lattice + niching operator instead of re-deriving.
+        self.niching = niching_for(
             n_objectives, self.config.reference_point_divisions
         )
-        self.niching = ReferencePointNiching(points)
 
     def _select_parents(
         self,

@@ -8,9 +8,18 @@
   step: adaptive normalization of the merged population, association of
   each individual with its nearest reference direction (perpendicular
   distance), and niche-preserving selection from the partial front.
+
+Both the lattice and the niching operator built from it depend only on
+``(n_objectives, divisions)``, so they are memoized: every NSGA-III /
+U-NSGA-III construction in a sweep shares one set of points and one
+:class:`ReferencePointNiching` instead of rebuilding the recursion per
+run (the operator keeps no per-run state — the selection RNG is passed
+per call).
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -18,20 +27,11 @@ from repro.errors import ValidationError
 from repro.types import FloatArray, IntArray, SeedLike
 from repro.utils.rng import as_generator
 
-__all__ = ["das_dennis_points", "ReferencePointNiching"]
+__all__ = ["das_dennis_points", "niching_for", "ReferencePointNiching"]
 
 
-def das_dennis_points(n_objectives: int, divisions: int) -> FloatArray:
-    """Structured reference points on the unit simplex.
-
-    Returns an array of shape (n_points, n_objectives) whose rows are
-    nonnegative and sum to 1.
-    """
-    if n_objectives < 2:
-        raise ValidationError(f"need >= 2 objectives, got {n_objectives}")
-    if divisions < 1:
-        raise ValidationError(f"need >= 1 division, got {divisions}")
-
+@lru_cache(maxsize=64)
+def _das_dennis_cached(n_objectives: int, divisions: int) -> FloatArray:
     points: list[list[float]] = []
     partial = np.zeros(n_objectives)
 
@@ -45,7 +45,35 @@ def das_dennis_points(n_objectives: int, divisions: int) -> FloatArray:
             recurse(index + 1, remaining - ticks)
 
     recurse(0, divisions)
-    return np.asarray(points, dtype=np.float64)
+    lattice = np.asarray(points, dtype=np.float64)
+    lattice.flags.writeable = False  # cached: shared by every caller
+    return lattice
+
+
+def das_dennis_points(n_objectives: int, divisions: int) -> FloatArray:
+    """Structured reference points on the unit simplex.
+
+    Returns an array of shape (n_points, n_objectives) whose rows are
+    nonnegative and sum to 1.  The lattice is memoized by
+    ``(n_objectives, divisions)`` and returned *read-only*; callers
+    needing a private mutable copy must ``.copy()`` it.
+    """
+    if n_objectives < 2:
+        raise ValidationError(f"need >= 2 objectives, got {n_objectives}")
+    if divisions < 1:
+        raise ValidationError(f"need >= 1 division, got {divisions}")
+    return _das_dennis_cached(int(n_objectives), int(divisions))
+
+
+@lru_cache(maxsize=64)
+def niching_for(n_objectives: int, divisions: int) -> "ReferencePointNiching":
+    """The shared :class:`ReferencePointNiching` for one lattice shape.
+
+    Safe to share across runs and algorithms: the operator is immutable
+    after construction (normalize/associate/select are pure functions
+    of their arguments plus the fixed directions).
+    """
+    return ReferencePointNiching(das_dennis_points(n_objectives, divisions))
 
 
 class ReferencePointNiching:

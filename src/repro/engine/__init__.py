@@ -12,7 +12,11 @@ The evaluation core under the allocation stack, in three parts:
 * :class:`~repro.engine.incremental.IncrementalEvaluator` — delta
   scoring of single-VM relocations in O(attributes + groups-of-vm)
   instead of full-genome re-evaluation, with a :meth:`verify` escape
-  hatch asserting parity against the reference evaluator.
+  hatch asserting parity against the reference evaluator;
+* :class:`~repro.engine.parallel.ParallelEngine` — a persistent
+  worker pool that publishes compilations into shared memory and fans
+  tabu repair / population evaluation out across processes with
+  byte-identical results (see ``docs/PARALLEL.md``).
 
 See ``docs/ENGINE.md`` for the compile/evaluate split and the
 delta-scoring contract.
@@ -27,6 +31,15 @@ from repro.engine.incremental import (
     ParityError,
     ParityReport,
 )
+from repro.engine.parallel import (
+    ChunkedPopulationEvaluator,
+    InstanceSpec,
+    ParallelEngine,
+    RepairParams,
+    SharedInstance,
+    attach_instance,
+    publish_instance,
+)
 
 __all__ = [
     "CompiledProblem",
@@ -36,4 +49,11 @@ __all__ = [
     "ParityDelta",
     "ParityError",
     "ParityReport",
+    "ParallelEngine",
+    "ChunkedPopulationEvaluator",
+    "RepairParams",
+    "InstanceSpec",
+    "SharedInstance",
+    "publish_instance",
+    "attach_instance",
 ]

@@ -28,6 +28,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Sequence
 
 from repro.allocator import Allocator
+from repro.engine import ProblemCache
 from repro.errors import ValidationError
 from repro.evaluation.metrics import RunRecord
 from repro.evaluation.runner import AllocatorFactory, SweepResult
@@ -35,6 +36,20 @@ from repro.telemetry import MetricsRegistry, MetricsSnapshot, use_registry
 from repro.workloads.generator import Scenario, ScenarioGenerator, ScenarioSpec
 
 __all__ = ["ParallelExperimentRunner"]
+
+
+#: Per-worker compilation cache, installed by the pool initializer.
+#: Workers are reused across cells, so when several factories (or
+#: repeated runs) hit the same (infrastructure, request) instance the
+#: later cells reuse the earlier compilation instead of recompiling —
+#: visible as ``engine.cache.hits`` in each cell's merged snapshot.
+_WORKER_CACHE: ProblemCache | None = None
+
+
+def _init_worker(cache_size: int) -> None:
+    """Pool initializer: build the worker's shared compilation cache."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = ProblemCache(maxsize=cache_size)
 
 
 def _execute_cell(
@@ -53,6 +68,8 @@ def _execute_cell(
     """
     with use_registry(MetricsRegistry()) as registry:
         allocator: Allocator = factory()
+        if _WORKER_CACHE is not None and allocator.problem_cache is None:
+            allocator.problem_cache = _WORKER_CACHE
         outcome = allocator.allocate(scenario.infrastructure, scenario.requests)
         registry.count("evaluation.cells", algorithm=label)
         registry.observe(
@@ -79,6 +96,11 @@ class ParallelExperimentRunner:
         runner's for the same seed.
     n_workers:
         Pool size; defaults to ``os.cpu_count() - 1`` (min 1).
+    problem_cache_size:
+        Capacity of each worker's :class:`~repro.engine.ProblemCache`.
+        Repeated (factory × scenario) cells on one instance then reuse
+        compilations inside a worker; hits surface in the sweep's
+        merged telemetry as ``engine.cache.hits``.
     """
 
     def __init__(
@@ -87,6 +109,7 @@ class ParallelExperimentRunner:
         runs: int = 5,
         seed: int = 0,
         n_workers: int | None = None,
+        problem_cache_size: int = 32,
     ) -> None:
         if not factories:
             raise ValidationError("need at least one allocator factory")
@@ -94,6 +117,10 @@ class ParallelExperimentRunner:
             raise ValidationError(f"runs must be >= 1, got {runs}")
         if n_workers is not None and n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        if problem_cache_size < 1:
+            raise ValidationError(
+                f"problem_cache_size must be >= 1, got {problem_cache_size}"
+            )
         # Fail fast on unpicklable factories (lambdas, closures): a
         # PicklingError mid-grid kills the pool with an opaque
         # traceback, so name the offending label up front instead.
@@ -111,6 +138,7 @@ class ParallelExperimentRunner:
         self.runs = int(runs)
         self.seed = int(seed)
         self.n_workers = n_workers or max(1, (os.cpu_count() or 2) - 1)
+        self.problem_cache_size = int(problem_cache_size)
 
     # Scenario derivation matches ExperimentRunner exactly, so serial
     # and parallel runs of the same seed see identical instances.
@@ -133,7 +161,11 @@ class ParallelExperimentRunner:
 
         results: dict[tuple[int, int, str], RunRecord] = {}
         snapshots: list[MetricsSnapshot] = []
-        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_init_worker,
+            initargs=(self.problem_cache_size,),
+        ) as pool:
             futures = {
                 pool.submit(
                     _execute_cell,

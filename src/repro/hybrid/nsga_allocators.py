@@ -24,6 +24,7 @@ from repro.ea.constraint_handling import (
 )
 from repro.ea.nsga2 import NSGA2
 from repro.ea.nsga3 import NSGA3
+from repro.engine.parallel import ChunkedPopulationEvaluator, ParallelEngine
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
 from repro.tabu.repair import TabuRepair
@@ -43,6 +44,19 @@ class _NSGAAllocatorBase(Allocator):
 
     def __init__(self, config: NSGAConfig | None = None) -> None:
         self.config = config or NSGAConfig()
+
+    def _ensure_execution_engine(self) -> ParallelEngine | None:
+        """The allocator's parallel engine, or ``None`` for serial runs.
+
+        An engine injected from outside (e.g. by the scheduler, shared
+        across windows) wins; otherwise one is created lazily when the
+        config asks for workers.  The engine — and its worker pool —
+        persists across ``allocate`` calls until :meth:`close`.
+        """
+        engine = self.execution_engine
+        if engine is None and self.config.n_workers >= 1:
+            engine = self.execution_engine = ParallelEngine(self.config.n_workers)
+        return engine
 
     # Subclasses build the engine (and its handler) per instance,
     # because repair handlers need the concrete (infrastructure,
@@ -86,6 +100,20 @@ class _NSGAAllocatorBase(Allocator):
             previous_assignment=previous_assignment,
             include_assignment_constraint=False,
         )
+        execution_engine = self._ensure_execution_engine()
+        if (
+            execution_engine is not None
+            and self.config.parallel_eval_min_pop is not None
+        ):
+            evaluator = ChunkedPopulationEvaluator(
+                evaluator,
+                execution_engine,
+                compiled,
+                min_rows=self.config.parallel_eval_min_pop,
+                base_usage=base_usage,
+                previous_assignment=previous_assignment,
+                include_assignment_constraint=False,
+            )
         engine = self._build_engine(infrastructure, merged, base_usage, compiled)
         result = engine.run(evaluator)
         assignment = self._post_process(
@@ -168,6 +196,7 @@ class NSGA3TabuAllocator(_NSGAAllocatorBase):
             order=self.order,
             seed=self.config.seed,
             compiled=compiled,
+            engine=self._ensure_execution_engine(),
         )
         return NSGA3(config=self.config, handler=RepairHandling(repair))
 

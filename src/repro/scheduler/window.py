@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.allocator import Allocator, BatchOutcome
-from repro.engine import ProblemCache
+from repro.engine import ParallelEngine, ProblemCache
 from repro.errors import SchedulerError
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import Placement
@@ -80,6 +80,12 @@ class TimeWindowScheduler:
     #: reoptimize-override allocator), so instances seen in earlier
     #: windows are never recompiled.
     problem_cache: ProblemCache = field(default_factory=ProblemCache)
+    #: Optional intra-run parallel engine threaded through the window
+    #: allocator (and any reoptimize override) the same way, so one
+    #: worker pool and one set of shared-memory instances serve every
+    #: window.  The scheduler does not own its lifecycle — call
+    #: :meth:`close` (or the engine's) when the simulation ends.
+    execution_engine: ParallelEngine | None = None
     state: PlatformState = field(init=False)
     _queue: EventQueue = field(init=False, default_factory=EventQueue)
     _requests: dict[str, Request] = field(init=False, default_factory=dict)
@@ -94,6 +100,8 @@ class TimeWindowScheduler:
             )
         self.state = PlatformState(self.infrastructure)
         self.allocator.problem_cache = self.problem_cache
+        if self.execution_engine is not None:
+            self.allocator.execution_engine = self.execution_engine
 
     # ------------------------------------------------------------------
     # Event submission
@@ -314,6 +322,12 @@ class TimeWindowScheduler:
             reports.append(self.run_window())
         return reports
 
+    def close(self) -> None:
+        """Shut down the shared execution engine, if one was injected."""
+        if self.execution_engine is not None:
+            self.execution_engine.close()
+            self.execution_engine = None
+
     # ------------------------------------------------------------------
     # Reconfiguration
     # ------------------------------------------------------------------
@@ -336,8 +350,10 @@ class TimeWindowScheduler:
         algo = allocator or self.allocator
         # Override allocators join the scheduler's compilation cache so
         # a reoptimize pass over already-hosted tenants reuses the
-        # windows' compiled instances.
+        # windows' compiled instances (and its worker pool, if any).
         algo.problem_cache = self.problem_cache
+        if self.execution_engine is not None:
+            algo.execution_engine = self.execution_engine
         requests = [self._requests[k] for k in tenants]
         previous_parts = [self.state.previous_assignment(k) for k in tenants]
         previous = np.concatenate(previous_parts)

@@ -21,13 +21,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constraints.registry import ConstraintSet
+from repro.engine.parallel import RepairParams
 from repro.errors import ValidationError
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
 from repro.tabu.neighborhood import NeighborFinder, TabuList
 from repro.telemetry import RepairInvoked, get_bus, get_registry
 from repro.types import FloatArray, IntArray
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, derive_sequence, root_sequence
 
 __all__ = ["TabuRepair"]
 
@@ -55,6 +56,13 @@ class TabuRepair:
         instance; when given, the constraint set shares its prebuilt
         group constraints and the finder reuses its compiled indexes —
         one compilation then serves every repair call of a run.
+    engine:
+        Optional :class:`~repro.engine.parallel.ParallelEngine`.  When
+        given (and ``compiled`` is too), population repair fans the
+        infeasible rows out across the engine's worker pool.  Results
+        are byte-identical to the serial path: each individual's RNG
+        stream is derived from ``(seed, batch_index, row)`` whether it
+        is repaired in-process or in a worker.
     """
 
     def __init__(
@@ -68,6 +76,7 @@ class TabuRepair:
         allow_worsening_moves: bool = True,
         seed=None,
         compiled=None,
+        engine=None,
     ) -> None:
         if max_rounds < 1:
             raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
@@ -89,7 +98,13 @@ class TabuRepair:
         self.tenure = int(tenure)
         self.order = order
         self.allow_worsening_moves = bool(allow_worsening_moves)
+        self.engine = engine
+        self._base_usage = base_usage
         self._rng = as_generator(seed)
+        # Per-individual streams are addressed by (batch, row) under this
+        # root — the determinism contract the parallel fan-out relies on.
+        self._root_seq = root_sequence(seed)
+        self._batch_counter = 0
         # E + U per server: the cheap cost proxy for ideal-point scoring.
         self._cost_rate = (
             compiled.per_resource_rate
@@ -196,8 +211,16 @@ class TabuRepair:
         return int(idx[np.argmin(added[idx])])
 
     # ------------------------------------------------------------------
-    def repair_genome(self, assignment: IntArray) -> IntArray:
-        """Repair one genome (Fig. 5).  Returns a new array."""
+    def repair_genome(self, assignment: IntArray, rng=None) -> IntArray:
+        """Repair one genome (Fig. 5).  Returns a new array.
+
+        ``rng`` overrides the repairer's own stream; population repair
+        passes a per-individual generator derived from the root seed so
+        the walk is a pure function of (seed, batch, row) — identical
+        whether this runs in-process or in a pool worker.
+        """
+        if rng is None:
+            rng = self._rng
         assignment = np.asarray(assignment, dtype=np.int64).copy()
         if self.constraints.is_feasible(assignment):
             return assignment
@@ -221,7 +244,7 @@ class TabuRepair:
             # Shuffle, then visit ungrouped VMs first: moving them never
             # perturbs an affinity rule, so capacity pressure drains off
             # overloaded servers without collateral group damage.
-            self._rng.shuffle(faulty)
+            rng.shuffle(faulty)
             faulty = faulty[np.argsort(grouped[faulty], kind="stable")]
             moved_any = False
             for vm in faulty:
@@ -233,7 +256,7 @@ class TabuRepair:
                     int(vm),
                     tabu=tabu,
                     order=self.order,
-                    rng=self._rng,
+                    rng=rng,
                 )
                 if target is None and self.allow_worsening_moves:
                     target = self._least_overflow_move(
@@ -276,14 +299,55 @@ class TabuRepair:
 
     # ------------------------------------------------------------------
     def __call__(self, population: IntArray) -> IntArray:
-        """Repair a whole population matrix (infeasible rows only)."""
+        """Repair a whole population matrix (infeasible rows only).
+
+        Each batch call advances ``_batch_counter`` — the "generation"
+        coordinate of the per-individual RNG streams.  The call order
+        of population repairs within a run is fixed (init, parents,
+        offspring per generation), so the counter is identical across
+        serial and parallel executions of the same seed.
+        """
         population = np.asarray(population, dtype=np.int64)
         if population.ndim == 1:
             return self.repair_genome(population)
+        batch_index = self._batch_counter
+        self._batch_counter += 1
         feasible = self.constraints.batch_feasible(population)
         if feasible.all():
             return population
+        rows = np.flatnonzero(~feasible)
         repaired = population.copy()
-        for i in np.flatnonzero(~feasible):
-            repaired[i] = self.repair_genome(population[i])
+
+        engine = self.engine
+        if (
+            engine is not None
+            and engine.available
+            and self.compiled is not None
+            and rows.size >= engine.min_dispatch_rows
+        ):
+            fanned = engine.repair_rows(
+                self.compiled,
+                RepairParams(
+                    max_rounds=self.max_rounds,
+                    tenure=self.tenure,
+                    order=self.order,
+                    allow_worsening_moves=self.allow_worsening_moves,
+                ),
+                population[rows],
+                rows,
+                root=self._root_seq,
+                batch_index=batch_index,
+                base_usage=self._base_usage,
+            )
+            if fanned is not None:
+                repaired[rows] = fanned
+                return repaired
+            # Engine degraded: fall through to the serial loop, which
+            # derives the very same per-row streams — same bytes out.
+
+        for i in rows:
+            rng = np.random.default_rng(
+                derive_sequence(self._root_seq, batch_index, int(i))
+            )
+            repaired[i] = self.repair_genome(population[i], rng=rng)
         return repaired

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.types import SeedLike
 
-__all__ = ["as_generator", "spawn_generators"]
+__all__ = ["as_generator", "spawn_generators", "root_sequence", "derive_sequence"]
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:
@@ -26,6 +26,44 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def root_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a root :class:`numpy.random.SeedSequence`.
+
+    A generator contributes its own seed sequence when it has one (so a
+    component handed a generator derives the same child streams as one
+    handed the seed that built it); ``None`` draws fresh OS entropy —
+    still a *fixed* root, so streams derived from it stay coherent
+    within the component even when the run as a whole is unseeded.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        seq = getattr(seed.bit_generator, "seed_seq", None)
+        if isinstance(seq, np.random.SeedSequence):
+            return seq
+        return np.random.SeedSequence()  # pragma: no cover - exotic bit gens
+    return np.random.SeedSequence(seed)
+
+
+def derive_sequence(
+    root: np.random.SeedSequence, *path: int
+) -> np.random.SeedSequence:
+    """The child stream at ``path`` below ``root``.
+
+    Mirrors :meth:`numpy.random.SeedSequence.spawn` semantics — a child
+    carries ``spawn_key = parent.spawn_key + path`` over the same
+    entropy — but addresses children by *coordinate* instead of by
+    spawn order.  That is what makes parallel fan-out deterministic:
+    deriving stream ``(generation, individual)`` yields the same
+    :class:`~numpy.random.SeedSequence` no matter how many workers run
+    or which finishes first.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=(*root.spawn_key, *(int(p) for p in path)),
+    )
 
 
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:

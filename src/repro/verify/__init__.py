@@ -14,7 +14,10 @@ way.  This package is that guarantee, in three layers:
   instances) the complete CP search, with per-term mismatch diagnoses;
 * :mod:`repro.verify.metamorphic` + :mod:`repro.verify.fuzzer` —
   transformation laws with provable consequences, driven over seeded
-  random scenarios (``python -m repro verify --fuzz N``).
+  random scenarios (``python -m repro verify --fuzz N``);
+* :mod:`repro.verify.parallel` — serial-vs-parallel byte-identity of
+  the execution engine's repair fan-out and chunked evaluation
+  (``python -m repro verify --check-parallel 1,2,4``).
 
 Telemetry lands in the ``verify.*`` namespace (see
 ``docs/OBSERVABILITY.md``); the checker catalog, oracle semantics and
@@ -46,6 +49,11 @@ from repro.verify.oracle import (
     OracleReport,
     TermDelta,
 )
+from repro.verify.parallel import (
+    ParallelDeterminismReport,
+    ParallelMismatch,
+    check_parallel_determinism,
+)
 
 __all__ = [
     # invariants
@@ -74,4 +82,8 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "run_fuzz",
+    # parallel determinism
+    "ParallelDeterminismReport",
+    "ParallelMismatch",
+    "check_parallel_determinism",
 ]

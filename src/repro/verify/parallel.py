@@ -1,0 +1,221 @@
+"""Serial-vs-parallel determinism verification.
+
+The parallel execution engine's contract (``docs/PARALLEL.md``) is that
+fanning tabu repair and population evaluation out over worker processes
+changes *nothing* about the result: for a given seed the final
+populations and the selected assignment are byte-identical to the
+serial path at every worker count.  This module drives that contract
+the way the oracle drives evaluator parity — run both paths for real,
+compare raw bytes, diagnose any drift.
+
+Two layers are compared per worker count:
+
+1. **engine level** — an NSGA-III + tabu-repair run over a compiled
+   instance, serial handler vs pool-backed handler; the final
+   population's genomes, objectives and violations must match byte for
+   byte;
+2. **allocator level** — a full :class:`NSGA3TabuAllocator.allocate`
+   (merge, repair, selection, post-process), comparing the returned
+   assignment and objective vector.
+
+``python -m repro verify --check-parallel 1,2,4`` runs this from the
+CLI; telemetry lands in ``verify.parallel.*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ea.config import NSGAConfig
+from repro.ea.constraint_handling import RepairHandling
+from repro.ea.nsga3 import NSGA3
+from repro.engine.compiled import CompiledProblem
+from repro.engine.parallel import ParallelEngine
+from repro.model.request import Request
+from repro.tabu.repair import TabuRepair
+from repro.telemetry import get_registry
+from repro.workloads.generator import ScenarioGenerator, ScenarioSpec
+
+__all__ = [
+    "ParallelMismatch",
+    "ParallelDeterminismReport",
+    "check_parallel_determinism",
+]
+
+
+@dataclass(frozen=True)
+class ParallelMismatch:
+    """One field that differed between the serial and parallel runs."""
+
+    n_workers: int
+    layer: str  #: "engine" or "allocator"
+    field: str  #: which compared array drifted
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.layer}] n_workers={self.n_workers}: "
+            f"{self.field} diverged from serial — {self.message}"
+        )
+
+
+@dataclass
+class ParallelDeterminismReport:
+    """Outcome of one :func:`check_parallel_determinism` pass."""
+
+    worker_counts: tuple[int, ...]
+    seed: int
+    servers: int
+    vms: int
+    comparisons: int = 0
+    fallbacks: int = 0
+    mismatches: list[ParallelMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every parallel run matched the serial bytes."""
+        return not self.mismatches
+
+    def format(self) -> str:
+        """Human-readable summary plus each mismatch."""
+        header = (
+            f"parallel determinism: {self.servers}x{self.vms} seed={self.seed} "
+            f"workers={list(self.worker_counts)} — "
+            f"{self.comparisons} comparisons, "
+            f"{len(self.mismatches)} mismatches"
+            + (f", {self.fallbacks} engine fallbacks" if self.fallbacks else "")
+        )
+        if self.ok:
+            return header + "\nall parallel runs byte-identical to serial"
+        return "\n".join([header, *map(str, self.mismatches)])
+
+
+def _compare(
+    report: ParallelDeterminismReport,
+    n_workers: int,
+    layer: str,
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]],
+) -> None:
+    registry = get_registry()
+    for name, (serial, parallel) in pairs.items():
+        report.comparisons += 1
+        registry.count("verify.parallel.comparisons")
+        if serial.tobytes() == parallel.tobytes():
+            continue
+        registry.count("verify.parallel.mismatches")
+        drift = int(np.count_nonzero(np.asarray(serial) != np.asarray(parallel)))
+        report.mismatches.append(
+            ParallelMismatch(
+                n_workers=n_workers,
+                layer=layer,
+                field=name,
+                message=f"{drift} of {serial.size} entries differ",
+            )
+        )
+
+
+def check_parallel_determinism(
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    *,
+    seed: int = 0,
+    servers: int = 6,
+    vms: int = 12,
+    tightness: float = 0.85,
+    population_size: int = 12,
+    max_evaluations: int = 120,
+) -> ParallelDeterminismReport:
+    """Prove serial/parallel byte-identity on one seeded scenario.
+
+    The instance is kept deliberately tight so every generation carries
+    infeasible offspring and the repair fan-out actually runs; each
+    worker count gets a fresh :class:`ParallelEngine` (own pool, own
+    shared-memory segments) and both layers are compared against the
+    serial baseline computed once.
+    """
+    worker_counts = tuple(int(w) for w in worker_counts)
+    report = ParallelDeterminismReport(
+        worker_counts=worker_counts, seed=seed, servers=servers, vms=vms
+    )
+    registry = get_registry()
+    registry.count("verify.parallel.checks")
+
+    spec = ScenarioSpec(
+        servers=servers, datacenters=2, vms=vms, tightness=tightness
+    )
+    scenario = ScenarioGenerator(spec, seed=seed).generate()
+    merged, _ = Request.concatenate(scenario.requests)
+    compiled = CompiledProblem(scenario.infrastructure, merged)
+    config = NSGAConfig(
+        population_size=population_size,
+        max_evaluations=max_evaluations,
+        reference_point_divisions=4,
+        seed=seed,
+    )
+
+    def engine_run(engine: ParallelEngine | None):
+        repair = TabuRepair(
+            scenario.infrastructure,
+            merged,
+            seed=config.seed,
+            compiled=compiled,
+            engine=engine,
+        )
+        evaluator = compiled.evaluator()
+        nsga = NSGA3(config=config, handler=RepairHandling(repair))
+        return nsga.run(evaluator).population
+
+    def allocator_run(n_workers: int):
+        from repro.hybrid.nsga_allocators import NSGA3TabuAllocator
+
+        allocator = NSGA3TabuAllocator(config=config.with_(n_workers=n_workers))
+        try:
+            return allocator.allocate(scenario.infrastructure, scenario.requests)
+        finally:
+            allocator.close()
+
+    serial_population = engine_run(None)
+    serial_outcome = allocator_run(0)
+
+    for n_workers in worker_counts:
+        with ParallelEngine(n_workers) as engine:
+            population = engine_run(engine)
+            if not engine.available:
+                report.fallbacks += 1
+        _compare(
+            report,
+            n_workers,
+            "engine",
+            {
+                "population.genomes": (
+                    serial_population.genomes,
+                    population.genomes,
+                ),
+                "population.objectives": (
+                    serial_population.objectives,
+                    population.objectives,
+                ),
+                "population.violations": (
+                    serial_population.violations,
+                    population.violations,
+                ),
+            },
+        )
+        outcome = allocator_run(n_workers)
+        _compare(
+            report,
+            n_workers,
+            "allocator",
+            {
+                "outcome.assignment": (
+                    serial_outcome.assignment,
+                    outcome.assignment,
+                ),
+                "outcome.objectives": (
+                    serial_outcome.objectives,
+                    outcome.objectives,
+                ),
+            },
+        )
+    return report

@@ -113,4 +113,47 @@ class TestParallelRunner:
             dict(_FACTORIES), runs=1, seed=5, n_workers=2
         ).run_sweep(_SPECS)
         assert serial.telemetry is not None and parallel.telemetry is not None
-        assert serial.telemetry.counters == parallel.telemetry.counters
+
+        # The per-worker ProblemCache intentionally turns repeat
+        # compilations into hits in the parallel path, so engine.cache.*
+        # series differ by design; everything else must match exactly.
+        def without_cache(counters):
+            return {
+                key: value
+                for key, value in counters.items()
+                if not key.startswith("engine.cache.")
+            }
+
+        assert without_cache(serial.telemetry.counters) == without_cache(
+            parallel.telemetry.counters
+        )
+        # Total lookups are conserved: serial misses = parallel hits+misses.
+        assert serial.telemetry.counter_total(
+            "engine.cache.misses"
+        ) == parallel.telemetry.counter_total(
+            "engine.cache.misses"
+        ) + parallel.telemetry.counter_total("engine.cache.hits")
+
+    def test_worker_problem_cache_reuses_compilations(self):
+        """The pool initializer installs a per-worker ProblemCache:
+        two compiling factories solving the same scenario inside one
+        worker share the compilation, visible as ``engine.cache.hits``
+        in the sweep's merged telemetry."""
+        cfg = NSGAConfig(population_size=8, max_evaluations=32, seed=0)
+        factories = {
+            "nsga2_a": partial(NSGA2Allocator, cfg),
+            "nsga2_b": partial(NSGA2Allocator, cfg),
+        }
+        result = ParallelExperimentRunner(
+            factories, runs=1, seed=2, n_workers=1
+        ).run_sweep(_SPECS[:1])
+        merged = result.telemetry
+        assert merged is not None
+        assert merged.counter_total("engine.cache.misses") == 1
+        assert merged.counter_total("engine.cache.hits") >= 1
+
+    def test_problem_cache_size_validated(self):
+        with pytest.raises(ValidationError):
+            ParallelExperimentRunner(
+                {"ff": FirstFitAllocator}, runs=1, problem_cache_size=0
+            )

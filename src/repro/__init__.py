@@ -66,6 +66,12 @@ from repro.model import (
     VirtualResource,
 )
 from repro.objectives import PopulationEvaluator
+from repro.runtime import (
+    CheckpointManager,
+    GracefulShutdown,
+    RunCheckpoint,
+    shutdown_requested,
+)
 from repro.scheduler import TimeWindowScheduler
 from repro.tabu import TabuRepair, TabuSearch
 from repro.topology import FabricSpec, SpineLeafFabric
@@ -129,6 +135,11 @@ __all__ = [
     "Scenario",
     "ScenarioGenerator",
     "ScenarioSpec",
+    # runtime (checkpoint/resume, graceful shutdown)
+    "CheckpointManager",
+    "RunCheckpoint",
+    "GracefulShutdown",
+    "shutdown_requested",
     # observability
     "telemetry",
     # conformance

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.constraints.registry import ConstraintSet
 from repro.engine import CompiledProblem, ParallelEngine, ProblemCache
+from repro.runtime.checkpoint import CheckpointManager
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
 from repro.model.request import Request
@@ -159,6 +160,13 @@ class Allocator(abc.ABC):
     #: lazily when their config asks for workers.  Whoever triggered
     #: creation should call :meth:`close` when done.
     execution_engine: ParallelEngine | None = None
+    #: Checkpoint store for crash-safe runs.  ``None`` = no snapshots
+    #: (EA allocators still honor ``NSGAConfig.checkpoint_dir`` on
+    #: their own).  The scheduler injects one so every window's run
+    #: checkpoints into a single campaign directory, stamped with the
+    #: window index.  Non-EA allocators ignore it: their solves are
+    #: single-pass and cheap to redo.
+    checkpoint_manager: CheckpointManager | None = None
 
     @abc.abstractmethod
     def allocate(
@@ -169,6 +177,22 @@ class Allocator(abc.ABC):
         previous_assignment: IntArray | None = None,
     ) -> BatchOutcome:
         """Place one window of requests and report uniformly."""
+
+    def runtime_state(self) -> dict | None:
+        """JSON-able cross-call state, for scheduler checkpoints.
+
+        Stateless allocators (each ``allocate`` call independent)
+        return ``None`` — the default.  Allocators carrying state
+        across windows (round-robin's rotation pointer, a greedy
+        tie-break RNG) override this and :meth:`restore_runtime_state`
+        so a resumed scheduler continues byte-identically.  EA
+        trajectory state is *not* captured here; that lives in the EA's
+        own :class:`~repro.runtime.checkpoint.RunCheckpoint`.
+        """
+        return None
+
+    def restore_runtime_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`runtime_state` (no-op here)."""
 
     # ------------------------------------------------------------------
     # Shared helpers for implementations

@@ -35,6 +35,14 @@ class GreedyAllocator(Allocator):
     def __init__(self, seed=None) -> None:
         self._rng = as_generator(seed)
 
+    def runtime_state(self) -> dict | None:
+        """Cross-window state: the tie-break RNG's bit-generator state."""
+        return {"rng_state": self._rng.bit_generator.state}
+
+    def restore_runtime_state(self, state: dict) -> None:
+        """Restore the tie-break RNG captured by :meth:`runtime_state`."""
+        self._rng.bit_generator.state = state["rng_state"]
+
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _candidate_order(
@@ -72,6 +80,7 @@ class GreedyAllocator(Allocator):
         base_usage: FloatArray | None = None,
         previous_assignment: IntArray | None = None,
     ) -> BatchOutcome:
+        """Greedily place every request; see :meth:`Allocator.allocate`."""
         merged, owner = self.merge_requests(requests)
         stopwatch = Stopwatch().start()
 

@@ -36,6 +36,17 @@ class RoundRobinAllocator(GreedyAllocator):
         """Rewind the rotation pointer (between independent scenarios)."""
         self._pointer = 0
 
+    def runtime_state(self) -> dict | None:
+        """RNG state plus the persistent rotation pointer."""
+        state = super().runtime_state() or {}
+        state["pointer"] = self._pointer
+        return state
+
+    def restore_runtime_state(self, state: dict) -> None:
+        """Restore RNG state and rotation pointer."""
+        super().restore_runtime_state(state)
+        self._pointer = int(state["pointer"])
+
     def _candidate_order(
         self,
         infrastructure: Infrastructure,

@@ -50,6 +50,11 @@ from repro.evaluation import (
 
 __all__ = ["main", "build_parser"]
 
+_INTERRUPTED_MSG = (
+    "sweep interrupted — completed cells are journaled; rerun the same "
+    "command (or `python -m repro resume DIR`) to continue"
+)
+
 
 def _factories(args, include_cp_hybrid: bool = False) -> dict[str, Callable]:
     config = NSGAConfig(
@@ -57,6 +62,8 @@ def _factories(args, include_cp_hybrid: bool = False) -> dict[str, Callable]:
         max_evaluations=args.evaluations,
         seed=args.seed,
         n_workers=getattr(args, "workers", 0),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", None),
     )
     factories: dict[str, Callable] = {
         "round_robin": lambda: RoundRobinAllocator(),
@@ -92,12 +99,19 @@ def _run_figure(args, sizes, metric: str, title: str) -> int:
         runs=args.runs,
         seed=args.seed,
     )
-    result = runner.run_sweep(_sweep_specs(sizes, args.tightness))
+    result = runner.run_sweep(
+        _sweep_specs(sizes, args.tightness),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    )
+    if result.interrupted:
+        print(_INTERRUPTED_MSG)
+        return 130
     print(format_series_table(result, metric, title=title))
     return 0
 
 
 def cmd_fig7(args) -> int:
+    """Run ``python -m repro fig7``."""
     return _run_figure(
         args,
         [(10, 20), (20, 40), (40, 80)],
@@ -107,6 +121,7 @@ def cmd_fig7(args) -> int:
 
 
 def cmd_fig8(args) -> int:
+    """Run ``python -m repro fig8``."""
     sizes = [(100, 200), (200, 400)]
     if args.full:
         sizes += [(400, 800), (800, 1600)]
@@ -119,6 +134,7 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_fig9(args) -> int:
+    """Run ``python -m repro fig9``."""
     return _run_figure(
         args,
         [(16, 32), (32, 64), (64, 128)],
@@ -128,6 +144,7 @@ def cmd_fig9(args) -> int:
 
 
 def cmd_fig10(args) -> int:
+    """Run ``python -m repro fig10``."""
     return _run_figure(
         args,
         [(16, 32), (32, 64), (64, 128)],
@@ -137,12 +154,19 @@ def cmd_fig10(args) -> int:
 
 
 def cmd_fig11(args) -> int:
+    """Run ``python -m repro fig11``."""
     runner = ExperimentRunner(
         _factories(args, include_cp_hybrid=args.include_cp_hybrid),
         runs=args.runs,
         seed=args.seed,
     )
-    result = runner.run_sweep(_sweep_specs([(16, 32), (32, 64)], args.tightness))
+    result = runner.run_sweep(
+        _sweep_specs([(16, 32), (32, 64)], args.tightness),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    )
+    if result.interrupted:
+        print(_INTERRUPTED_MSG)
+        return 130
     print(
         format_series_table(
             result, "provider_cost", title="Figure 11: mean provider cost"
@@ -160,6 +184,7 @@ def cmd_fig11(args) -> int:
 
 
 def cmd_table2(args) -> int:
+    """Run ``python -m repro table2``."""
     rows = capability_matrix(
         _factories(args, include_cp_hybrid=True), seed=args.seed, runs=args.runs
     )
@@ -173,6 +198,7 @@ def cmd_table2(args) -> int:
 
 
 def cmd_table3(args) -> int:
+    """Run ``python -m repro table3``."""
     config = NSGAConfig()
     rows = [
         ["populationSize", config.population_size],
@@ -187,6 +213,7 @@ def cmd_table3(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    """Run ``python -m repro compare``."""
     spec = ScenarioSpec(
         servers=args.servers,
         datacenters=2 if args.servers < 100 else 4,
@@ -220,6 +247,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_diagnose(args) -> int:
+    """Run ``python -m repro diagnose``."""
     from repro.model import Request, diagnose_instance
     from repro.serialization import load_json, scenario_from_dict
 
@@ -273,8 +301,14 @@ def _parse_workers(text: str) -> tuple[int, ...]:
 
 
 def cmd_verify(args) -> int:
+    """Run ``python -m repro verify``."""
     from repro.telemetry import get_registry
-    from repro.verify import FuzzConfig, check_parallel_determinism, run_fuzz
+    from repro.verify import (
+        FuzzConfig,
+        check_parallel_determinism,
+        check_resume_determinism,
+        run_fuzz,
+    )
 
     config = FuzzConfig(
         scenarios=args.fuzz,
@@ -293,6 +327,11 @@ def cmd_verify(args) -> int:
         print()
         print(parallel_report.format())
         ok = ok and parallel_report.ok
+    if args.check_resume:
+        resume_report = check_resume_determinism(seed=args.seed)
+        print()
+        print(resume_report.format())
+        ok = ok and resume_report.ok
     snapshot = get_registry().format_summary()
     verify_lines = [line for line in snapshot.splitlines() if "verify." in line]
     if verify_lines:
@@ -301,7 +340,32 @@ def cmd_verify(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_resume(args) -> int:
+    """Run ``python -m repro resume``: replay a campaign's manifest argv."""
+    from pathlib import Path
+
+    from repro.errors import CheckpointError
+    from repro.runtime.checkpoint import read_checked_json
+
+    try:
+        manifest = read_checked_json(
+            Path(args.path) / "manifest.json", "campaign_manifest"
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"{args.path!r} is not a campaign checkpoint directory — "
+            "expected the manifest written by a run with --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 1
+    argv = [str(chunk) for chunk in manifest["argv"]]
+    print(f"resuming campaign: python -m repro {' '.join(argv)}")
+    return main(argv)
+
+
 def cmd_generate(args) -> int:
+    """Run ``python -m repro generate``."""
     from repro.serialization import save_json, scenario_to_dict
 
     spec = ScenarioSpec(
@@ -351,6 +415,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="event sink: console, jsonl:PATH, or off (default; see "
         "docs/OBSERVABILITY.md)",
+    )
+    common.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="campaign checkpoint directory: finished sweep cells and "
+        "mid-run EA state land here, and an identical rerun (or "
+        "`python -m repro resume DIR`) continues instead of restarting "
+        "(docs/RUNBOOK.md)",
+    )
+    common.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="G",
+        help="EA checkpoint cadence in generations (default 10; only "
+        "meaningful with --checkpoint-dir)",
     )
 
     sub = parser.add_subparsers(dest="command", required=True)
@@ -407,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also prove serial-vs-parallel byte-identity of the "
                 "execution engine at these worker counts (docs/PARALLEL.md)",
             )
+            p.add_argument(
+                "--check-resume",
+                action="store_true",
+                help="also prove kill-and-resume byte-identity of the "
+                "checkpoint subsystem, serial and 2-worker "
+                "(docs/RUNBOOK.md)",
+            )
         if name == "fig8":
             p.add_argument(
                 "--full", action="store_true", help="include 400x800 and 800x1600"
@@ -418,15 +506,39 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--out", default="scenario.json")
         if name == "diagnose":
             p.add_argument("scenario", help="path to a scenario JSON")
+    resume_parser = sub.add_parser(
+        "resume",
+        help="continue a killed campaign from its checkpoint directory",
+    )
+    resume_parser.add_argument(
+        "path", help="checkpoint directory of the interrupted campaign"
+    )
+    resume_parser.set_defaults(func=cmd_resume)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point (``python -m repro ...``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
     args = build_parser().parse_args(argv)
+    if getattr(args, "checkpoint_dir", None):
+        # Record the invocation so `python -m repro resume DIR` can
+        # re-issue it; reruns overwrite atomically with the same argv.
+        from pathlib import Path
+
+        from repro.runtime.checkpoint import atomic_write_json
+
+        directory = Path(args.checkpoint_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            directory / "manifest.json", "campaign_manifest", {"argv": argv}
+        )
     sink = telemetry.configure(getattr(args, "telemetry", None))
     try:
-        return args.func(args)
+        from repro.runtime.signals import GracefulShutdown
+
+        with GracefulShutdown():
+            return args.func(args)
     finally:
         telemetry.shutdown(sink)
         if sink is not None:

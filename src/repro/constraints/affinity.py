@@ -58,6 +58,7 @@ class SameServerConstraint(_GroupConstraint):
     name = "same_server"
 
     def violations(self, assignment: IntArray) -> int:
+        """Count violated same-server pairs in one assignment."""
         genes = self._member_genes(assignment)
         placed = genes[genes != UNPLACED]
         if placed.size <= 1:
@@ -65,6 +66,7 @@ class SameServerConstraint(_GroupConstraint):
         return int(np.unique(placed).size - 1)
 
     def batch_violations(self, population: IntArray) -> IntArray:
+        """Vectorized :meth:`violations` over a population matrix."""
         population = np.asarray(population, dtype=np.int64)
         genes = population[:, self._idx]
         if np.any(genes == UNPLACED):
@@ -90,6 +92,7 @@ class SameDatacenterConstraint(_GroupConstraint):
         return dc
 
     def violations(self, assignment: IntArray) -> int:
+        """Count violated same-datacenter pairs in one assignment."""
         dcs = self._to_datacenters(self._member_genes(assignment))
         placed = dcs[dcs != UNPLACED]
         if placed.size <= 1:
@@ -97,6 +100,7 @@ class SameDatacenterConstraint(_GroupConstraint):
         return int(np.unique(placed).size - 1)
 
     def batch_violations(self, population: IntArray) -> IntArray:
+        """Vectorized :meth:`violations` over a population matrix."""
         population = np.asarray(population, dtype=np.int64)
         genes = population[:, self._idx]
         if np.any(genes == UNPLACED):

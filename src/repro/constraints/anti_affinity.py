@@ -25,6 +25,7 @@ class DifferentServersConstraint(_GroupConstraint):
     name = "different_servers"
 
     def violations(self, assignment: IntArray) -> int:
+        """Count colliding different-servers pairs in one assignment."""
         genes = self._member_genes(assignment)
         placed = genes[genes != UNPLACED]
         if placed.size <= 1:
@@ -32,6 +33,7 @@ class DifferentServersConstraint(_GroupConstraint):
         return int(placed.size - np.unique(placed).size)
 
     def batch_violations(self, population: IntArray) -> IntArray:
+        """Vectorized :meth:`violations` over a population matrix."""
         population = np.asarray(population, dtype=np.int64)
         genes = population[:, self._idx]
         if np.any(genes == UNPLACED):
@@ -51,6 +53,7 @@ class DifferentDatacentersConstraint(_GroupConstraint):
         self.infrastructure = infrastructure
 
     def violations(self, assignment: IntArray) -> int:
+        """Count colliding different-datacenters pairs in one assignment."""
         genes = self._member_genes(assignment)
         placed = genes[genes != UNPLACED]
         if placed.size <= 1:
@@ -59,6 +62,7 @@ class DifferentDatacentersConstraint(_GroupConstraint):
         return int(dcs.size - np.unique(dcs).size)
 
     def batch_violations(self, population: IntArray) -> IntArray:
+        """Vectorized :meth:`violations` over a population matrix."""
         population = np.asarray(population, dtype=np.int64)
         genes = population[:, self._idx]
         if np.any(genes == UNPLACED):

@@ -28,6 +28,7 @@ class AssignmentConstraint(Constraint):
         self.n = int(n)
 
     def violations(self, assignment: IntArray) -> int:
+        """Count unassigned VMs (Eq. 5/17) in one assignment."""
         assignment = np.asarray(assignment)
         if assignment.shape != (self.n,):
             raise ValueError(
@@ -36,5 +37,6 @@ class AssignmentConstraint(Constraint):
         return int(np.count_nonzero(assignment == UNPLACED))
 
     def batch_violations(self, population: IntArray) -> IntArray:
+        """Vectorized :meth:`violations` over a population matrix."""
         population = np.asarray(population)
         return np.count_nonzero(population == UNPLACED, axis=1).astype(np.int64)

@@ -103,6 +103,7 @@ class CapacityConstraint(Constraint):
         )
 
     def violations(self, assignment: IntArray) -> int:
+        """Count overloaded (server, resource) cells (Eq. 4/16)."""
         return int(self.overloaded_cells(assignment).sum())
 
     # ------------------------------------------------------------------
@@ -132,6 +133,7 @@ class CapacityConstraint(Constraint):
         return usage
 
     def batch_violations(self, population: IntArray) -> IntArray:
+        """Vectorized :meth:`violations` over a population matrix."""
         usage = self.batch_usage(population)
         over = usage > self.limit[None, :, :] + self._slack[None, :, :]
         return over.sum(axis=(1, 2)).astype(np.int64)

@@ -55,9 +55,11 @@ class LoadCapConstraint(Constraint):
         self._inner._slack = 1e-9 * np.maximum(1.0, np.abs(knee_limit))
 
     def violations(self, assignment: IntArray) -> int:
+        """Count (server, resource) cells exceeding the strict load cap."""
         return self._inner.violations(assignment)
 
     def batch_violations(self, population: IntArray) -> IntArray:
+        """Vectorized :meth:`violations` over a population matrix."""
         return self._inner.batch_violations(population)
 
     def overloaded_servers(self, assignment: IntArray) -> IntArray:

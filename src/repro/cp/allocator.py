@@ -61,6 +61,7 @@ class CPAllocator(Allocator):
         base_usage: FloatArray | None = None,
         previous_assignment: IntArray | None = None,
     ) -> BatchOutcome:
+        """Solve each request exactly via CP; see :meth:`Allocator.allocate`."""
         merged, owner = self.merge_requests(requests)
         stopwatch = Stopwatch().start()
 

@@ -71,6 +71,15 @@ class NSGAConfig:
         least this many genomes are chunked across the worker pool.
         ``None`` keeps evaluation in-process (repair fan-out alone is
         usually the win at Table III population sizes).
+    checkpoint_dir:
+        When set, the run snapshots its full trajectory state into this
+        directory at generation boundaries and auto-resumes from the
+        newest compatible checkpoint on the next start — byte-identical
+        to an uninterrupted run (see ``docs/RUNBOOK.md``).  ``None``
+        (the default) disables checkpointing entirely.
+    checkpoint_every:
+        Generations between snapshots (default 10 when
+        ``checkpoint_dir`` is set).
     """
 
     population_size: int = 100
@@ -87,6 +96,8 @@ class NSGAConfig:
     seed: int | None = None
     n_workers: int = 0
     parallel_eval_min_pop: int | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -123,6 +134,8 @@ class NSGAConfig:
             )
         if self.parallel_eval_min_pop is not None and self.parallel_eval_min_pop < 1:
             raise ValidationError("parallel_eval_min_pop must be >= 1 when set")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValidationError("checkpoint_every must be >= 1 when set")
 
     def with_(self, **changes) -> "NSGAConfig":
         """Functional update (frozen dataclass convenience)."""

@@ -63,6 +63,36 @@ class ConstraintHandler:
         """Objectives the sorter should see (default: untouched)."""
         return objectives
 
+    def set_deadline(self, deadline: float | None) -> None:
+        """Propagate a wall-clock budget (``time.perf_counter`` stamp).
+
+        The NSGA loop calls this when its config carries a
+        ``time_limit`` so repair procedures can bound their own inner
+        loops; stateless handlers ignore it.
+        """
+
+    def trajectory_tag(self) -> str:
+        """Identity of this handler within a checkpoint trajectory key.
+
+        Two runs whose handlers repair differently must never share a
+        checkpoint (e.g. plain NSGA-III vs the tabu hybrid in one
+        campaign directory); this tag separates them.
+        """
+        return type(self).__name__
+
+    def runtime_state(self) -> dict | None:
+        """Trajectory-relevant mutable state for checkpoints (or None).
+
+        Whatever this returns is stored in the run checkpoint verbatim
+        and handed back through :meth:`restore_runtime_state` on
+        resume, so stateful repair procedures (the tabu repair's RNG
+        batch counter) survive a kill byte-identically.
+        """
+        return None
+
+    def restore_runtime_state(self, state: dict | None) -> None:
+        """Re-apply state captured by :meth:`runtime_state` (default no-op)."""
+
 
 class NoHandling(ConstraintHandler):
     """Unmodified NSGA-II/III: constraints play no role in the search."""
@@ -96,6 +126,7 @@ class PenaltyHandling(ConstraintHandler):
     def effective_objectives(
         self, objectives: FloatArray, violations: IntArray
     ) -> FloatArray:
+        """Add the violation penalty to every objective (Eq. 14 style)."""
         objectives = np.asarray(objectives, dtype=np.float64)
         violations = np.asarray(violations, dtype=np.float64)
         return objectives + self.coefficient * violations[:, None]
@@ -126,6 +157,7 @@ class RepairHandling(ConstraintHandler):
         return self._repair_calls
 
     def prepare(self, genomes: IntArray) -> IntArray:
+        """Repair the infeasible rows of ``genomes`` via the repair callable."""
         self._repair_calls += 1
         get_registry().count("ea.repair.batches")
         with span("ea.repair", individuals=int(np.shape(genomes)[0])):
@@ -137,3 +169,32 @@ class RepairHandling(ConstraintHandler):
                 f"{repaired.shape}"
             )
         return repaired
+
+    def trajectory_tag(self) -> str:
+        """Tag includes the repair callable so different repairers never
+        share a checkpoint trajectory."""
+        fn = self.repair_fn
+        label = getattr(fn, "__qualname__", None) or type(fn).__name__
+        return f"{type(self).__name__}({label})"
+
+    # The hooks below forward to the repair callable when it supports
+    # them (TabuRepair does; a bare function or the CP solver's bound
+    # method silently doesn't).
+    def set_deadline(self, deadline: float | None) -> None:
+        """Forward the wall-clock cutoff to the repair callable."""
+        setter = getattr(self.repair_fn, "set_deadline", None)
+        if setter is not None:
+            setter(deadline)
+
+    def runtime_state(self) -> dict | None:
+        """Checkpoint payload of the repair callable (``None`` if stateless)."""
+        getter = getattr(self.repair_fn, "runtime_state", None)
+        return None if getter is None else getter()
+
+    def restore_runtime_state(self, state: dict | None) -> None:
+        """Inverse of :meth:`runtime_state` (resume path)."""
+        if state is None:
+            return
+        setter = getattr(self.repair_fn, "restore_runtime_state", None)
+        if setter is not None:
+            setter(state)

@@ -11,6 +11,8 @@ front (crowding distance vs. reference-point niching).
 from __future__ import annotations
 
 import abc
+import dataclasses
+import time
 
 import numpy as np
 
@@ -22,10 +24,17 @@ from repro.ea.operators.sbx import sbx_crossover
 from repro.ea.population import Population
 from repro.ea.result import EvolutionResult, GenerationStats
 from repro.ea.sorting import fast_non_dominated_sort
+from repro.errors import CheckpointError
 from repro.objectives.evaluator import PopulationEvaluator
+from repro.runtime.checkpoint import CheckpointManager, RunCheckpoint, trajectory_key
+from repro.runtime.signals import shutdown_requested
 from repro.telemetry import GenerationCompleted, get_bus, get_registry, span
 from repro.types import FloatArray, IntArray
 from repro.utils.timers import Stopwatch
+
+#: Default generations between snapshots when checkpointing is enabled
+#: without an explicit ``checkpoint_every``.
+DEFAULT_CHECKPOINT_EVERY = 10
 
 __all__ = ["NSGABase"]
 
@@ -175,6 +184,10 @@ class NSGABase(abc.ABC):
         self,
         evaluator: PopulationEvaluator,
         initial_genomes: IntArray | None = None,
+        *,
+        checkpoint_manager: CheckpointManager | None = None,
+        fingerprint: str = "",
+        resume_from: RunCheckpoint | None = None,
     ) -> EvolutionResult:
         """Optimize one allocation instance and return the final state.
 
@@ -186,44 +199,45 @@ class NSGABase(abc.ABC):
             Optional warm start: up to ``population_size`` genomes
             (e.g. a greedy seed, or the previous window's solution for
             reconfiguration runs).  Fewer rows are topped up with
-            random genomes; extra rows are ignored.
+            random genomes; extra rows are ignored (and the whole
+            argument is, when the run resumes from a checkpoint).
+        checkpoint_manager:
+            Checkpoint store override; when ``None`` and the config
+            carries ``checkpoint_dir``, a manager over that directory
+            is created here.
+        fingerprint:
+            :class:`~repro.engine.CompiledProblem` fingerprint of the
+            instance — the staleness key checkpoints are matched on.
+        resume_from:
+            Explicit checkpoint to restore.  Without it, a manager
+            auto-resumes from the newest compatible checkpoint in its
+            directory (none found = fresh start).  An explicit
+            checkpoint whose fingerprint or trajectory key disagrees
+            with this run raises
+            :class:`~repro.errors.CheckpointError`.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         n = evaluator.request.n
         m = evaluator.infrastructure.m
 
+        manager = checkpoint_manager
+        if manager is None and cfg.checkpoint_dir is not None:
+            manager = CheckpointManager(cfg.checkpoint_dir)
+        checkpoint_every = cfg.checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+        # The handler tag keeps algorithms sharing an engine (plain
+        # NSGA-III vs the tabu/CP hybrids) from colliding in a shared
+        # campaign directory.
+        config_key = trajectory_key(
+            cfg, f"{self.algorithm_name}/{self.handler.trajectory_tag()}"
+        )
+        if resume_from is None and manager is not None:
+            resume_from = manager.latest(fingerprint, config_key)
+
         # Resolved once per run: with the default no-op bus the per-
         # generation telemetry below is a single boolean check.
         bus = get_bus()
         registry = get_registry()
-
-        stopwatch = Stopwatch().start()
-        evaluations = 0
-        history: list[GenerationStats] = []
-
-        genomes = random_population(cfg.population_size, n, m, seed=rng)
-        if initial_genomes is not None:
-            seeds = np.asarray(initial_genomes, dtype=np.int64)
-            if seeds.ndim == 1:
-                seeds = seeds[None, :]
-            if seeds.shape[1] != n:
-                raise ValueError(
-                    f"initial genomes have length {seeds.shape[1]}, "
-                    f"instance needs {n}"
-                )
-            count = min(seeds.shape[0], cfg.population_size)
-            genomes[:count] = seeds[:count]
-        genomes = self.handler.prepare(genomes)
-        result = evaluator.evaluate_population(genomes)
-        evaluations += cfg.population_size
-        population = Population(genomes, result.objectives, result.violations)
-
-        generation = 0
-        if self.track_history:
-            history.append(self._stats(generation, evaluations, population))
-        if bus.enabled:
-            bus.emit(self._generation_event(generation, evaluations, population))
 
         def _incumbent(pop: Population) -> tuple[int, float]:
             """(violations, aggregate) of the current single-solution
@@ -233,8 +247,85 @@ class NSGABase(abc.ABC):
                 idx = pop.least_violating_index()
             return int(pop.violations[idx]), float(pop.objectives[idx].sum())
 
-        best_seen = _incumbent(population)
-        stalled = 0
+        history: list[GenerationStats] = []
+        resumed_from: int | None = None
+
+        if resume_from is not None:
+            ckpt = self._validate_checkpoint(resume_from, config_key, fingerprint, n)
+            population = Population(
+                ckpt.genomes.copy(), ckpt.objectives.copy(), ckpt.violations.copy()
+            )
+            rng.bit_generator.state = ckpt.rng_state
+            generation = ckpt.generation
+            evaluations = ckpt.evaluations
+            stalled = ckpt.stalled
+            best_seen = (ckpt.best_violations, ckpt.best_aggregate)
+            self.handler.restore_runtime_state(ckpt.repair_state)
+            if self.track_history:
+                history = [GenerationStats(**h) for h in ckpt.history]
+            resumed_from = ckpt.generation
+            stopwatch = Stopwatch(elapsed=ckpt.elapsed).start()
+            registry.count("runtime.resume.runs", algorithm=self.algorithm_name)
+            if cfg.time_limit is not None:
+                self.handler.set_deadline(
+                    time.perf_counter() + cfg.time_limit - ckpt.elapsed
+                )
+        else:
+            stopwatch = Stopwatch().start()
+            if cfg.time_limit is not None:
+                self.handler.set_deadline(time.perf_counter() + cfg.time_limit)
+            evaluations = 0
+
+            genomes = random_population(cfg.population_size, n, m, seed=rng)
+            if initial_genomes is not None:
+                seeds = np.asarray(initial_genomes, dtype=np.int64)
+                if seeds.ndim == 1:
+                    seeds = seeds[None, :]
+                if seeds.shape[1] != n:
+                    raise ValueError(
+                        f"initial genomes have length {seeds.shape[1]}, "
+                        f"instance needs {n}"
+                    )
+                count = min(seeds.shape[0], cfg.population_size)
+                genomes[:count] = seeds[:count]
+            genomes = self.handler.prepare(genomes)
+            result = evaluator.evaluate_population(genomes)
+            evaluations += cfg.population_size
+            population = Population(genomes, result.objectives, result.violations)
+
+            generation = 0
+            if self.track_history:
+                history.append(self._stats(generation, evaluations, population))
+            if bus.enabled:
+                bus.emit(
+                    self._generation_event(generation, evaluations, population)
+                )
+
+            best_seen = _incumbent(population)
+            stalled = 0
+
+        interrupted = False
+        last_saved = resumed_from if resumed_from is not None else -1
+
+        def _snapshot() -> None:
+            nonlocal last_saved
+            if generation == last_saved:
+                return
+            manager.save(
+                self._build_checkpoint(
+                    fingerprint=fingerprint,
+                    config_key=config_key,
+                    generation=generation,
+                    evaluations=evaluations,
+                    elapsed=stopwatch.elapsed,
+                    population=population,
+                    rng=rng,
+                    stalled=stalled,
+                    best_seen=best_seen,
+                    history=history,
+                )
+            )
+            last_saved = generation
 
         while evaluations + cfg.population_size <= cfg.max_evaluations:
             if cfg.time_limit is not None and stopwatch.elapsed >= cfg.time_limit:
@@ -243,6 +334,12 @@ class NSGABase(abc.ABC):
                 cfg.stall_generations is not None
                 and stalled >= cfg.stall_generations
             ):
+                break
+            if manager is not None and shutdown_requested():
+                # Graceful flush: persist the boundary we stand on and
+                # unwind; the next start auto-resumes from here.
+                _snapshot()
+                interrupted = True
                 break
             generation += 1
 
@@ -292,6 +389,9 @@ class NSGABase(abc.ABC):
             if self.track_history:
                 history.append(self._stats(generation, evaluations, population))
 
+            if manager is not None and generation % checkpoint_every == 0:
+                _snapshot()
+
         stopwatch.stop()
         registry.count(
             "nsga.generations", generation, algorithm=self.algorithm_name
@@ -308,6 +408,75 @@ class NSGABase(abc.ABC):
             elapsed=stopwatch.elapsed,
             history=history,
             algorithm=self.algorithm_name,
+            resumed_from=resumed_from,
+            interrupted=interrupted,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _validate_checkpoint(
+        self,
+        ckpt: RunCheckpoint,
+        config_key: str,
+        fingerprint: str,
+        n: int,
+    ) -> RunCheckpoint:
+        """Reject checkpoints that cannot continue *this* run."""
+        if fingerprint and ckpt.fingerprint and ckpt.fingerprint != fingerprint:
+            raise CheckpointError(
+                "checkpoint belongs to a different problem instance "
+                f"(fingerprint {ckpt.fingerprint[:12]}... != "
+                f"{fingerprint[:12]}...); the scenario changed since the "
+                "checkpoint was written"
+            )
+        if ckpt.config_key != config_key:
+            raise CheckpointError(
+                "checkpoint was written under a different search "
+                f"configuration (trajectory key {ckpt.config_key[:8]}... != "
+                f"{config_key[:8]}...)"
+            )
+        expected = (self.config.population_size, n)
+        if tuple(ckpt.genomes.shape) != expected:
+            raise CheckpointError(
+                f"checkpoint population shape {tuple(ckpt.genomes.shape)} "
+                f"does not match this instance {expected}"
+            )
+        return ckpt
+
+    def _build_checkpoint(
+        self,
+        *,
+        fingerprint: str,
+        config_key: str,
+        generation: int,
+        evaluations: int,
+        elapsed: float,
+        population: Population,
+        rng: np.random.Generator,
+        stalled: int,
+        best_seen: tuple[int, float],
+        history: list[GenerationStats],
+    ) -> RunCheckpoint:
+        """Capture the loop state right after a completed generation."""
+        return RunCheckpoint(
+            algorithm=self.algorithm_name,
+            fingerprint=fingerprint,
+            config_key=config_key,
+            generation=generation,
+            evaluations=evaluations,
+            elapsed=elapsed,
+            genomes=population.genomes.copy(),
+            objectives=population.objectives.copy(),
+            violations=population.violations.copy(),
+            rng_state=rng.bit_generator.state,
+            stalled=stalled,
+            best_violations=best_seen[0],
+            best_aggregate=best_seen[1],
+            repair_state=self.handler.runtime_state(),
+            history=tuple(
+                dataclasses.asdict(stats) for stats in history
+            ),
         )
 
     # ------------------------------------------------------------------

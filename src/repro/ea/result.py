@@ -41,6 +41,13 @@ class EvolutionResult:
         Per-generation statistics (empty if tracking was disabled).
     algorithm:
         Human-readable algorithm label.
+    resumed_from:
+        Generation the run was restored from when it resumed a
+        checkpoint, else ``None``.
+    interrupted:
+        True when the run stopped early on a graceful-shutdown request
+        after flushing a checkpoint (the population is the state at the
+        interruption boundary, not a finished run).
     """
 
     population: Population
@@ -48,6 +55,8 @@ class EvolutionResult:
     elapsed: float
     history: list[GenerationStats] = field(default_factory=list)
     algorithm: str = "nsga"
+    resumed_from: int | None = None
+    interrupted: bool = False
 
     # ------------------------------------------------------------------
     def pareto_front(self) -> Population:

@@ -115,6 +115,7 @@ class SharedInstance:
 
     @property
     def segment(self) -> str:
+        """Name of the shared-memory segment workers attach by."""
         return self.spec.segment
 
     def close(self) -> None:
@@ -247,6 +248,7 @@ class _AttachedInstance:
         self._evaluators: dict[tuple, Any] = {}
 
     def repairer(self, params: "RepairParams"):
+        """The worker-local :class:`TabuRepair` over the attached instance."""
         key = params.cache_key()
         repairer = self._repairers.get(key)
         if repairer is None:
@@ -266,6 +268,7 @@ class _AttachedInstance:
         return repairer
 
     def evaluator(self, binding: tuple[tuple[str, Any], ...]):
+        """The worker-local :class:`PopulationEvaluator` over the instance."""
         evaluator = self._evaluators.get(binding)
         if evaluator is None:
             evaluator = self.compiled.evaluator(
@@ -305,6 +308,7 @@ class RepairParams:
     allow_worsening_moves: bool = True
 
     def cache_key(self) -> tuple:
+        """Hashable identity for the worker-side repairer cache."""
         return (
             self.max_rounds,
             self.tenure,
@@ -666,6 +670,7 @@ class ChunkedPopulationEvaluator:
         self._evaluator_kwargs = evaluator_kwargs
 
     def evaluate_population(self, population: IntArray):
+        """Evaluate a population, fanning large batches out to the pool."""
         population = np.ascontiguousarray(population, dtype=np.int64)
         if population.shape[0] >= self.min_rows and self.engine.available:
             result = self.engine.evaluate_rows(

@@ -23,6 +23,7 @@ __all__ = [
     "SolverTimeoutError",
     "EncodingError",
     "SchedulerError",
+    "CheckpointError",
 ]
 
 
@@ -72,3 +73,7 @@ class EncodingError(ReproError):
 
 class SchedulerError(ReproError):
     """The time-window scheduler was driven into an invalid state."""
+
+
+class CheckpointError(ReproError):
+    """A run checkpoint is corrupt, stale, or incompatible with the run."""

@@ -13,7 +13,10 @@ algorithms (Round Robin's rotation pointer) start fresh each run.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.allocator import Allocator
@@ -23,6 +26,7 @@ from repro.evaluation.metrics import (
     RunRecord,
     aggregate_records,
 )
+from repro.runtime.signals import shutdown_requested
 from repro.telemetry import MetricsRegistry, MetricsSnapshot, use_registry
 from repro.workloads.generator import Scenario, ScenarioGenerator, ScenarioSpec
 
@@ -44,6 +48,10 @@ class SweepResult:
 
     records: list[RunRecord] = field(default_factory=list)
     telemetry: MetricsSnapshot | None = None
+    #: True when the sweep stopped early on a shutdown request; the
+    #: completed cells are journaled and a rerun with the same
+    #: ``checkpoint_dir`` picks up where this one stopped.
+    interrupted: bool = False
 
     # Column order of the CSV export (and of from_csv's expectations).
     _CSV_FIELDS = (
@@ -182,38 +190,121 @@ class ExperimentRunner:
         )
         return generator.generate_many(self.runs)
 
-    def run_sweep(self, specs: Sequence[ScenarioSpec]) -> SweepResult:
-        """Execute the full experiment and return every record."""
+    # ------------------------------------------------------------------
+    # Per-cell resume journal
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _load_cell_journal(path: Path) -> dict[tuple[int, int, str], RunRecord]:
+        """Completed cells from a previous (possibly killed) sweep.
+
+        Each journal line is one finished cell.  A process dying
+        mid-append leaves at most one torn final line, which fails to
+        parse and is dropped — the cell simply reruns.
+        """
+        completed: dict[tuple[int, int, str], RunRecord] = {}
+        if not path.exists():
+            return completed
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                point_index, run_index, label = entry["key"]
+                record = RunRecord(**entry["record"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # torn or foreign line: rerun that cell
+            completed[(int(point_index), int(run_index), str(label))] = record
+        return completed
+
+    @staticmethod
+    def _append_cell(
+        handle, key: tuple[int, int, str], record: RunRecord
+    ) -> None:
+        """Durably append one finished cell to the journal."""
+        handle.write(
+            json.dumps({"key": list(key), "record": record.__dict__}) + "\n"
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def run_sweep(
+        self,
+        specs: Sequence[ScenarioSpec],
+        checkpoint_dir: str | Path | None = None,
+    ) -> SweepResult:
+        """Execute the full experiment and return every record.
+
+        With ``checkpoint_dir``, every finished (point, run, algorithm)
+        cell is appended to ``cells.jsonl`` in that directory, and a
+        rerun reloads completed cells instead of recomputing them — so
+        a killed 100-run campaign resumes at the cell it died in.  A
+        shutdown request (SIGTERM/SIGINT under
+        :class:`~repro.runtime.signals.GracefulShutdown`) stops the
+        sweep at the next cell boundary with ``interrupted=True``.
+        Reloaded cells contribute their records but not their nested
+        telemetry (that was consumed by the run that computed them).
+        """
+        journal = None
+        completed: dict[tuple[int, int, str], RunRecord] = {}
+        if checkpoint_dir is not None:
+            directory = Path(checkpoint_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            journal_path = directory / "cells.jsonl"
+            completed = self._load_cell_journal(journal_path)
+            journal = journal_path.open("a")
+
         result = SweepResult()
         # The sweep runs against its own scoped registry, so nested
         # instrumentation (NSGA generations, CP nodes, repair moves)
         # lands in this sweep's snapshot and nowhere else.
         registry = MetricsRegistry()
-        with use_registry(registry):
-            for point_index, spec in enumerate(specs):
-                scenarios = self._scenarios_for(spec, point_index)
-                for run_index, scenario in enumerate(scenarios):
-                    for label, factory in self.factories.items():
-                        allocator = factory()
-                        outcome = allocator.allocate(
-                            scenario.infrastructure, scenario.requests
-                        )
-                        registry.count("evaluation.cells", algorithm=label)
-                        registry.observe(
-                            "evaluation.cell_seconds",
-                            outcome.elapsed,
-                            algorithm=label,
-                        )
-                        record = RunRecord.from_outcome(
-                            outcome,
-                            servers=spec.servers,
-                            vms=spec.vms,
-                            seed=run_index,
-                        )
-                        # The label keys the experiment, not the class name.
-                        record = RunRecord(
-                            **{**record.__dict__, "algorithm": label}
-                        )
-                        result.records.append(record)
+        try:
+            with use_registry(registry):
+                for point_index, spec in enumerate(specs):
+                    if result.interrupted:
+                        break
+                    scenarios = self._scenarios_for(spec, point_index)
+                    for run_index, scenario in enumerate(scenarios):
+                        if result.interrupted:
+                            break
+                        for label, factory in self.factories.items():
+                            key = (point_index, run_index, label)
+                            if key in completed:
+                                result.records.append(completed[key])
+                                registry.count("runtime.sweep.cells_skipped")
+                                continue
+                            if shutdown_requested():
+                                result.interrupted = True
+                                break
+                            allocator = factory()
+                            outcome = allocator.allocate(
+                                scenario.infrastructure, scenario.requests
+                            )
+                            registry.count("evaluation.cells", algorithm=label)
+                            registry.observe(
+                                "evaluation.cell_seconds",
+                                outcome.elapsed,
+                                algorithm=label,
+                            )
+                            record = RunRecord.from_outcome(
+                                outcome,
+                                servers=spec.servers,
+                                vms=spec.vms,
+                                seed=run_index,
+                            )
+                            # The label keys the experiment, not the class name.
+                            record = RunRecord(
+                                **{**record.__dict__, "algorithm": label}
+                            )
+                            result.records.append(record)
+                            if journal is not None:
+                                # runtime.sweep.* counters only exist on
+                                # journaled sweeps, keeping serial and
+                                # parallel telemetry comparable.
+                                self._append_cell(journal, key, record)
+                                registry.count("runtime.sweep.cells_completed")
+        finally:
+            if journal is not None:
+                journal.close()
         result.telemetry = registry.snapshot()
         return result

@@ -91,6 +91,7 @@ class _NSGAAllocatorBase(Allocator):
         base_usage: FloatArray | None = None,
         previous_assignment: IntArray | None = None,
     ) -> BatchOutcome:
+        """Run the configured NSGA variant; see :meth:`Allocator.allocate`."""
         merged, owner = self.merge_requests(requests)
         stopwatch = Stopwatch().start()
 
@@ -115,7 +116,11 @@ class _NSGAAllocatorBase(Allocator):
                 include_assignment_constraint=False,
             )
         engine = self._build_engine(infrastructure, merged, base_usage, compiled)
-        result = engine.run(evaluator)
+        result = engine.run(
+            evaluator,
+            checkpoint_manager=self.checkpoint_manager,
+            fingerprint=compiled.fingerprint,
+        )
         assignment = self._post_process(
             result.best_genome(), infrastructure, merged, base_usage, compiled
         )
@@ -125,6 +130,10 @@ class _NSGAAllocatorBase(Allocator):
         handler = getattr(engine, "handler", None)
         if isinstance(handler, RepairHandling):
             extra["repair_calls"] = handler.repair_calls
+        if result.resumed_from is not None:
+            extra["resumed_from"] = result.resumed_from
+        if result.interrupted:
+            extra["interrupted"] = True
         return self.finalize(
             infrastructure,
             merged,

@@ -1,0 +1,92 @@
+"""Graceful-shutdown plumbing for long campaigns.
+
+A paper-scale sweep killed by SIGTERM (pre-emption, OOM supervisor,
+Ctrl-C) should flush a checkpoint and exit cleanly instead of dying
+mid-generation.  This module is the cooperative half of that contract:
+
+* :class:`GracefulShutdown` installs SIGINT/SIGTERM handlers that set
+  a process-wide flag (a second SIGINT still raises
+  :class:`KeyboardInterrupt`, so an impatient operator can force the
+  issue);
+* long loops — the NSGA generational loop, the sweep runner's cell
+  loop — poll :func:`shutdown_requested` at safe boundaries, write a
+  checkpoint, and return with their result marked interrupted.
+
+The flag is process-global on purpose: one signal must stop every
+nested loop (sweep -> allocator -> EA engine -> parallel repair), and
+threading an abort token through each layer would couple them all to
+this module instead.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+from repro.telemetry import get_registry
+
+__all__ = [
+    "GracefulShutdown",
+    "shutdown_requested",
+    "request_shutdown",
+    "clear_shutdown",
+]
+
+_SHUTDOWN = threading.Event()
+
+
+def shutdown_requested() -> bool:
+    """Whether a graceful shutdown has been requested for this process."""
+    return _SHUTDOWN.is_set()
+
+
+def request_shutdown(reason: str = "manual") -> None:
+    """Raise the shutdown flag (also usable programmatically in tests)."""
+    if not _SHUTDOWN.is_set():
+        _SHUTDOWN.set()
+        get_registry().count("runtime.shutdown.requests", reason=reason)
+
+
+def clear_shutdown() -> None:
+    """Lower the flag (a new campaign starts with a clean slate)."""
+    _SHUTDOWN.clear()
+
+
+class GracefulShutdown:
+    """Context manager scoping SIGINT/SIGTERM to the shutdown flag.
+
+    Inside the context the first SIGINT or SIGTERM requests a graceful
+    stop; checkpoint-aware loops notice at their next boundary, flush,
+    and unwind normally.  A second SIGINT restores default semantics by
+    raising :class:`KeyboardInterrupt` immediately.  On exit the
+    previous handlers are reinstalled and the flag is cleared.
+
+    Signal handlers can only be installed from the main thread; from
+    any other thread the context degrades to a no-op (the flag can
+    still be raised programmatically via :func:`request_shutdown`).
+    """
+
+    def __init__(self) -> None:
+        self._previous: dict[int, object] = {}
+        self._installed = False
+
+    def _handle(self, signum: int, frame) -> None:
+        if shutdown_requested() and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        name = signal.Signals(signum).name
+        request_shutdown(reason=name.lower())
+
+    def __enter__(self) -> "GracefulShutdown":
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                self._previous[signum] = signal.signal(signum, self._handle)
+            self._installed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._installed:
+            for signum, handler in self._previous.items():
+                signal.signal(signum, handler)
+            self._previous.clear()
+            self._installed = False
+        clear_shutdown()

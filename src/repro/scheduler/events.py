@@ -115,6 +115,15 @@ class EventQueue:
         """Timestamp of the next event, or None when empty."""
         return self._heap[0][0] if self._heap else None
 
+    def snapshot(self) -> list:
+        """Pending events in pop order, without consuming them.
+
+        Used by the scheduler checkpoint: re-pushing the returned list
+        into a fresh queue reproduces the original pop order (the FIFO
+        counter is re-derived from insertion order).
+        """
+        return [entry[2] for entry in sorted(self._heap, key=lambda e: e[:2])]
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -33,7 +33,9 @@ from repro.scheduler.events import (
     ServerFailureEvent,
     ServerRecoveryEvent,
 )
+from repro.runtime.checkpoint import CheckpointManager
 from repro.scheduler.reconfiguration import MigrationPlan, plan_migration
+from repro.serialization import request_from_dict, request_to_dict
 from repro.telemetry import (
     MigrationPlanned,
     RequestRejected,
@@ -86,6 +88,12 @@ class TimeWindowScheduler:
     #: window.  The scheduler does not own its lifecycle — call
     #: :meth:`close` (or the engine's) when the simulation ends.
     execution_engine: ParallelEngine | None = None
+    #: Optional checkpoint store.  When set, (a) every window solve's
+    #: EA checkpoints land in it stamped with the window index, so a
+    #: killed mid-window run resumes inside the window, and (b) the
+    #: scheduler snapshots its own state (clock, residents, pending
+    #: events) after each window — restore with :meth:`resume`.
+    checkpoint_manager: CheckpointManager | None = None
     state: PlatformState = field(init=False)
     _queue: EventQueue = field(init=False, default_factory=EventQueue)
     _requests: dict[str, Request] = field(init=False, default_factory=dict)
@@ -102,6 +110,8 @@ class TimeWindowScheduler:
         self.allocator.problem_cache = self.problem_cache
         if self.execution_engine is not None:
             self.allocator.execution_engine = self.execution_engine
+        if self.checkpoint_manager is not None:
+            self.allocator.checkpoint_manager = self.checkpoint_manager
 
     # ------------------------------------------------------------------
     # Event submission
@@ -222,6 +232,10 @@ class TimeWindowScheduler:
                 batch_requests.append(event.request)
                 batch_previous.append(None)
 
+        if self.checkpoint_manager is not None:
+            # Stamp EA checkpoints written during this window's solve.
+            self.checkpoint_manager.window_index = self._window_index
+
         outcome: BatchOutcome | None = None
         accepted: list[str] = []
         rejected: list[str] = []
@@ -273,6 +287,8 @@ class TimeWindowScheduler:
         )
         self._record_window_telemetry(report)
         self._window_index += 1
+        if self.checkpoint_manager is not None:
+            self.checkpoint()
         return report
 
     def _record_window_telemetry(self, report: WindowReport) -> None:
@@ -329,6 +345,182 @@ class TimeWindowScheduler:
             self.execution_engine = None
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the simulation state.
+
+        Captures the clock, window index, failed servers, every known
+        request, committed residents and pending events — everything
+        needed to rebuild the scheduler at the same window boundary.
+        Arrival events store only their request key (the request itself
+        lives in the requests map).
+        """
+        events: list[dict] = []
+        for event in self._queue.snapshot():
+            if isinstance(event, ArrivalEvent):
+                events.append(
+                    {"type": "arrival", "time": event.time, "key": event.key}
+                )
+            elif isinstance(event, DepartureEvent):
+                events.append(
+                    {"type": "departure", "time": event.time, "key": event.key}
+                )
+            elif isinstance(event, ServerFailureEvent):
+                events.append(
+                    {"type": "failure", "time": event.time, "server": event.server}
+                )
+            elif isinstance(event, ServerRecoveryEvent):
+                events.append(
+                    {"type": "recovery", "time": event.time, "server": event.server}
+                )
+            else:  # pragma: no cover - future event kinds must opt in
+                raise SchedulerError(
+                    f"cannot checkpoint event of type {type(event).__name__}"
+                )
+        # Ordered pairs, not mappings: the on-disk envelope canonicalizes
+        # dict keys, but commit order is trajectory state (it decides
+        # tenant concatenation order in reoptimize passes).
+        residents = [
+            [key, [int(g) for g in self.state.previous_assignment(key)]]
+            for key in self.state.tenants()
+        ]
+        return {
+            "window_length": self.window_length,
+            "clock": self._clock,
+            "window_index": self._window_index,
+            "failed_servers": sorted(self._failed_servers),
+            "requests": [
+                [key, request_to_dict(req)] for key, req in self._requests.items()
+            ],
+            "residents": residents,
+            # The accumulated matrix itself, not just the ledger: usage
+            # evolves by +demand/-demand increments whose float
+            # round-off a fresh rebuild would not reproduce, and resume
+            # is byte-identical only if the restored scheduler hands
+            # allocators the exact same base_usage.
+            "committed_usage": self.state.committed_usage.tolist(),
+            "pending": events,
+            # Cross-window allocator state (round-robin pointer, greedy
+            # tie-break RNG); None for stateless allocators.
+            "allocator": self.allocator.runtime_state(),
+        }
+
+    def checkpoint(self, name: str = "scheduler") -> None:
+        """Persist :meth:`state_dict` through the checkpoint manager.
+
+        :meth:`run_window` calls this automatically at every window
+        boundary when a manager is configured; callers may also invoke
+        it manually (e.g. before a risky reoptimize pass).
+        """
+        if self.checkpoint_manager is None:
+            raise SchedulerError("scheduler has no checkpoint manager configured")
+        self.checkpoint_manager.save_state(
+            name, "scheduler_checkpoint", self.state_dict()
+        )
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this scheduler.
+
+        The scheduler must be freshly constructed (no submitted
+        requests, no committed tenants) over the same infrastructure
+        the snapshot was taken from.
+        """
+        if self._requests or self.state.tenants():
+            raise SchedulerError(
+                "load_state_dict requires a freshly constructed scheduler"
+            )
+        self._clock = float(payload["clock"])
+        self._window_index = int(payload["window_index"])
+        self._failed_servers = {int(s) for s in payload["failed_servers"]}
+        self._requests = {
+            key: request_from_dict(data) for key, data in payload["requests"]
+        }
+        for key, genes in payload["residents"]:
+            request = self._requests.get(key)
+            if request is None:
+                raise SchedulerError(
+                    f"checkpoint resident {key!r} has no request record"
+                )
+            placement = Placement(
+                assignment=np.asarray(genes, dtype=np.int64),
+                infrastructure=self.infrastructure,
+            )
+            self.state.commit(key, placement, request)
+        # Adopt the snapshot's accumulated usage matrix verbatim (see
+        # state_dict), after checking the rebuilt ledger agrees with it
+        # to float tolerance.
+        usage = np.asarray(payload["committed_usage"], dtype=np.float64)
+        if usage.shape != self.state.committed_usage.shape:
+            raise SchedulerError(
+                "checkpoint usage matrix does not match this infrastructure"
+            )
+        if not np.allclose(usage, self.state.committed_usage, atol=1e-9):
+            raise SchedulerError(
+                "checkpoint usage matrix diverged from its resident ledger"
+            )
+        self.state.committed_usage = usage
+        for event in payload["pending"]:
+            kind = event["type"]
+            if kind == "arrival":
+                request = self._requests.get(event["key"])
+                if request is None:
+                    raise SchedulerError(
+                        f"checkpoint arrival {event['key']!r} has no request record"
+                    )
+                self._queue.push(
+                    ArrivalEvent(
+                        time=event["time"], key=event["key"], request=request
+                    )
+                )
+            elif kind == "departure":
+                self._queue.push(
+                    DepartureEvent(time=event["time"], key=event["key"])
+                )
+            elif kind == "failure":
+                self._queue.push(
+                    ServerFailureEvent(time=event["time"], server=event["server"])
+                )
+            elif kind == "recovery":
+                self._queue.push(
+                    ServerRecoveryEvent(time=event["time"], server=event["server"])
+                )
+            else:
+                raise SchedulerError(f"unknown checkpointed event type {kind!r}")
+        allocator_state = payload.get("allocator")
+        if allocator_state is not None:
+            self.allocator.restore_runtime_state(allocator_state)
+
+    @classmethod
+    def resume(
+        cls,
+        infrastructure: Infrastructure,
+        allocator: Allocator,
+        checkpoint_manager: CheckpointManager,
+        name: str = "scheduler",
+        problem_cache: ProblemCache | None = None,
+        execution_engine: ParallelEngine | None = None,
+    ) -> "TimeWindowScheduler":
+        """Rebuild a scheduler from the manager's latest snapshot.
+
+        The returned scheduler keeps the manager attached, so the run
+        continues checkpointing into the same directory; a mid-window
+        EA checkpoint written before the kill is picked up by the
+        window solve's auto-resume.
+        """
+        payload = checkpoint_manager.load_state(name, "scheduler_checkpoint")
+        scheduler = cls(
+            infrastructure=infrastructure,
+            allocator=allocator,
+            window_length=float(payload["window_length"]),
+            checkpoint_manager=checkpoint_manager,
+            **({"problem_cache": problem_cache} if problem_cache is not None else {}),
+            execution_engine=execution_engine,
+        )
+        scheduler.load_state_dict(payload)
+        return scheduler
+
+    # ------------------------------------------------------------------
     # Reconfiguration
     # ------------------------------------------------------------------
     def reoptimize(
@@ -354,6 +546,8 @@ class TimeWindowScheduler:
         algo.problem_cache = self.problem_cache
         if self.execution_engine is not None:
             algo.execution_engine = self.execution_engine
+        if self.checkpoint_manager is not None:
+            algo.checkpoint_manager = self.checkpoint_manager
         requests = [self._requests[k] for k in tenants]
         previous_parts = [self.state.previous_assignment(k) for k in tenants]
         previous = np.concatenate(previous_parts)
@@ -388,6 +582,8 @@ class TimeWindowScheduler:
 
         registry = get_registry()
         registry.count("scheduler.reoptimizations")
+        if applied and self.checkpoint_manager is not None:
+            self.checkpoint()
         if applied:
             registry.count("scheduler.migration_moves", plan.size)
         bus = get_bus()

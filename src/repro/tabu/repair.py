@@ -18,6 +18,8 @@ equals.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.constraints.registry import ConstraintSet
@@ -113,6 +115,44 @@ class TabuRepair:
         )
         self.repaired_individuals = 0
         self.moves_performed = 0
+        #: Optional wall-clock cutoff (``time.perf_counter`` stamp) set
+        #: by the EA loop when its config carries a ``time_limit``; the
+        #: repair rounds and the per-population row loop both stop once
+        #: it has passed, so one pathological repair cannot blow through
+        #: the run's budget.  NOTE: a deadline makes results timing-
+        #: dependent — runs relying on byte-identical determinism
+        #: (parallel/resume verification) leave ``time_limit`` unset.
+        self.deadline: float | None = None
+
+    # ------------------------------------------------------------------
+    # Runtime hooks used by the EA loop (deadline propagation) and the
+    # checkpoint subsystem (trajectory state across kill/resume).
+    # ------------------------------------------------------------------
+    def set_deadline(self, deadline: float | None) -> None:
+        """Bound all subsequent repair work by a ``perf_counter`` stamp."""
+        self.deadline = None if deadline is None else float(deadline)
+
+    def _deadline_passed(self) -> bool:
+        return self.deadline is not None and time.perf_counter() >= self.deadline
+
+    def runtime_state(self) -> dict:
+        """Checkpoint payload: the RNG batch counter plus run counters.
+
+        ``batch_counter`` addresses the per-individual RNG streams of
+        population repair — restoring it is what keeps a resumed run on
+        the exact random trajectory of the uninterrupted one.
+        """
+        return {
+            "batch_counter": int(self._batch_counter),
+            "repaired_individuals": int(self.repaired_individuals),
+            "moves_performed": int(self.moves_performed),
+        }
+
+    def restore_runtime_state(self, state: dict) -> None:
+        """Inverse of :meth:`runtime_state` (resume path)."""
+        self._batch_counter = int(state["batch_counter"])
+        self.repaired_individuals = int(state.get("repaired_individuals", 0))
+        self.moves_performed = int(state.get("moves_performed", 0))
 
     # ------------------------------------------------------------------
     # Fast fault/score paths.  These reuse the usage matrix the repair
@@ -238,6 +278,8 @@ class TabuRepair:
             grouped[list(group.members)] = True
 
         for _ in range(self.max_rounds):
+            if self._deadline_passed():
+                break
             faulty = self._faulty_vms(assignment, usage)
             if faulty.size == 0:
                 break
@@ -247,7 +289,11 @@ class TabuRepair:
             rng.shuffle(faulty)
             faulty = faulty[np.argsort(grouped[faulty], kind="stable")]
             moved_any = False
-            for vm in faulty:
+            for scanned, vm in enumerate(faulty):
+                # The round itself can be long on big instances; re-check
+                # the budget every few dozen candidate moves.
+                if scanned % 32 == 31 and self._deadline_passed():
+                    break
                 if not self._still_faulty(int(vm), assignment, usage):
                     continue
                 target = self.finder.find(
@@ -324,6 +370,7 @@ class TabuRepair:
             and engine.available
             and self.compiled is not None
             and rows.size >= engine.min_dispatch_rows
+            and not self._deadline_passed()
         ):
             fanned = engine.repair_rows(
                 self.compiled,
@@ -346,6 +393,8 @@ class TabuRepair:
             # derives the very same per-row streams — same bytes out.
 
         for i in rows:
+            if self._deadline_passed():
+                break  # remaining rows pass through unrepaired
             rng = np.random.default_rng(
                 derive_sequence(self._root_seq, batch_index, int(i))
             )

@@ -38,6 +38,7 @@ class NullSink(Sink):
     """Discards everything."""
 
     def handle(self, event: TelemetryEvent) -> None:
+        """Drop the event."""
         pass
 
 
@@ -48,6 +49,7 @@ class InMemorySink(Sink):
         self.events: list[TelemetryEvent] = []
 
     def handle(self, event: TelemetryEvent) -> None:
+        """Append the event to the in-memory list."""
         self.events.append(event)
 
     def of(self, event_type: type) -> list[TelemetryEvent]:
@@ -72,12 +74,14 @@ class JsonlSink(Sink):
         self._handle = self.path.open("a", encoding="utf-8")
 
     def handle(self, event: TelemetryEvent) -> None:
+        """Write the event as one JSON line."""
         payload = event.to_dict()
         payload["ts"] = time.time()
         self._handle.write(json.dumps(payload) + "\n")
         self._handle.flush()
 
     def close(self) -> None:
+        """Flush and close the underlying file."""
         if not self._handle.closed:
             self._handle.close()
 
@@ -89,6 +93,7 @@ class ConsoleSink(Sink):
         self._stream = stream if stream is not None else sys.stderr
 
     def handle(self, event: TelemetryEvent) -> None:
+        """Print the event to the configured stream."""
         payload = event.to_dict()
         name = payload.pop("event")
         fields = " ".join(

@@ -23,9 +23,13 @@ class Stopwatch:
         print(sw.elapsed)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, elapsed: float = 0.0) -> None:
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be >= 0, got {elapsed}")
         self._start: float | None = None
-        self._elapsed: float = 0.0
+        # Pre-charged seconds: a resumed run restores the wall clock its
+        # earlier incarnation already spent, so time limits stay honest.
+        self._elapsed: float = float(elapsed)
 
     def start(self) -> "Stopwatch":
         """Begin (or resume) timing."""

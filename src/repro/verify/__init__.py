@@ -17,7 +17,11 @@ way.  This package is that guarantee, in three layers:
   random scenarios (``python -m repro verify --fuzz N``);
 * :mod:`repro.verify.parallel` — serial-vs-parallel byte-identity of
   the execution engine's repair fan-out and chunked evaluation
-  (``python -m repro verify --check-parallel 1,2,4``).
+  (``python -m repro verify --check-parallel 1,2,4``);
+* :mod:`repro.verify.resume` — kill-and-resume byte-identity of the
+  checkpoint subsystem: a run truncated at a checkpoint boundary and
+  resumed from disk must finish exactly as the uninterrupted run
+  (``python -m repro verify --check-resume``).
 
 Telemetry lands in the ``verify.*`` namespace (see
 ``docs/OBSERVABILITY.md``); the checker catalog, oracle semantics and
@@ -54,6 +58,11 @@ from repro.verify.parallel import (
     ParallelMismatch,
     check_parallel_determinism,
 )
+from repro.verify.resume import (
+    ResumeDeterminismReport,
+    ResumeMismatch,
+    check_resume_determinism,
+)
 
 __all__ = [
     # invariants
@@ -86,4 +95,8 @@ __all__ = [
     "ParallelDeterminismReport",
     "ParallelMismatch",
     "check_parallel_determinism",
+    # kill-and-resume determinism
+    "ResumeDeterminismReport",
+    "ResumeMismatch",
+    "check_resume_determinism",
 ]

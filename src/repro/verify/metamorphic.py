@@ -81,6 +81,7 @@ class LawContext:
 
     @property
     def merged(self) -> tuple[Request, IntArray]:
+        """A copy of the base allocator kwargs with ``overrides`` applied."""
         return Request.concatenate(list(self.requests))
 
 
@@ -129,6 +130,7 @@ class ServerPermutationLaw(MetamorphicLaw):
     name = "server_permutation"
 
     def check(self, ctx, rng):
+        """Check the law on one scenario; see :class:`MetamorphicLaw`."""
         infra = ctx.infrastructure
         perm = rng.permutation(infra.m)
         permuted = Infrastructure(
@@ -197,6 +199,7 @@ class CapacityInflationLaw(MetamorphicLaw):
     name = "capacity_inflation"
 
     def check(self, ctx, rng):
+        """Check the law on one scenario; see :class:`MetamorphicLaw`."""
         factor = float(rng.uniform(1.0, 2.0))
         infra = ctx.infrastructure
         inflated = replace(infra, capacity=infra.capacity * factor)
@@ -249,6 +252,7 @@ class CostScalingLaw(MetamorphicLaw):
     name = "cost_scaling"
 
     def check(self, ctx, rng):
+        """Check the law on one scenario; see :class:`MetamorphicLaw`."""
         factor = float(rng.uniform(0.25, 4.0))
         infra = ctx.infrastructure
         scaled = replace(
@@ -304,6 +308,7 @@ class DuplicateRequestIdempotenceLaw(MetamorphicLaw):
     name = "duplicate_request_idempotence"
 
     def check(self, ctx, rng):
+        """Check the law on one scenario; see :class:`MetamorphicLaw`."""
         requests = ctx.requests
         duplicated = (*requests, requests[int(rng.integers(0, len(requests)))])
         extra = duplicated[-1].n

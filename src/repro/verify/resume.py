@@ -1,0 +1,316 @@
+"""Kill-and-resume determinism verification.
+
+The checkpoint subsystem's contract (``docs/RUNBOOK.md``) is byte
+identity: a run killed at a checkpoint boundary and resumed from disk
+finishes exactly as the uninterrupted run would have — same final
+population bytes, same selected assignment, same evaluation counter.
+This module proves the contract the way :mod:`repro.verify.parallel`
+proves the engine's: run all three trajectories for real (baseline,
+killed, resumed) and compare raw bytes.
+
+The kill is simulated deterministically rather than with real signals:
+the first run gets a truncated evaluation budget plus checkpointing, so
+it stops at a generation boundary with a checkpoint on disk — exactly
+the state a SIGTERM'd run flushes.  Because
+:func:`~repro.runtime.checkpoint.trajectory_key` excludes stopping
+criteria, a second run with the full budget and the same checkpoint
+directory auto-resumes from that boundary.
+
+Two layers are compared per worker count (0 = serial):
+
+1. **engine level** — NSGA-III + tabu repair over a compiled instance;
+   final population genomes/objectives/violations and the evaluation
+   counter must match the uninterrupted baseline byte for byte, and the
+   second run must actually have resumed;
+2. **allocator level** — a full :class:`NSGA3TabuAllocator.allocate`,
+   comparing assignment, objectives and acceptance mask.
+
+``python -m repro verify --check-resume`` runs this from the CLI;
+telemetry lands in ``verify.resume.*``.  ``time_limit`` must stay
+unset here: deadline-bounded repair is wall-clock dependent and
+legitimately breaks byte identity.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ea.config import NSGAConfig
+from repro.ea.constraint_handling import RepairHandling
+from repro.ea.nsga3 import NSGA3
+from repro.engine.compiled import CompiledProblem
+from repro.engine.parallel import ParallelEngine
+from repro.model.request import Request
+from repro.runtime.checkpoint import CheckpointManager
+from repro.tabu.repair import TabuRepair
+from repro.telemetry import get_registry
+from repro.workloads.generator import ScenarioGenerator, ScenarioSpec
+
+__all__ = [
+    "ResumeMismatch",
+    "ResumeDeterminismReport",
+    "check_resume_determinism",
+]
+
+
+@dataclass(frozen=True)
+class ResumeMismatch:
+    """One field where the resumed run drifted from the baseline."""
+
+    n_workers: int
+    layer: str  #: "engine" or "allocator"
+    field: str  #: which compared quantity drifted
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.layer}] n_workers={self.n_workers}: "
+            f"{self.field} diverged after resume — {self.message}"
+        )
+
+
+@dataclass
+class ResumeDeterminismReport:
+    """Outcome of one :func:`check_resume_determinism` pass."""
+
+    worker_counts: tuple[int, ...]
+    seed: int
+    servers: int
+    vms: int
+    comparisons: int = 0
+    resumed_generations: list[int] = field(default_factory=list)
+    mismatches: list[ResumeMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every resumed run matched the uninterrupted bytes."""
+        return not self.mismatches
+
+    def format(self) -> str:
+        """Human-readable summary plus each mismatch."""
+        header = (
+            f"resume determinism: {self.servers}x{self.vms} seed={self.seed} "
+            f"workers={list(self.worker_counts)} — "
+            f"{self.comparisons} comparisons, "
+            f"resumed at generations {self.resumed_generations}, "
+            f"{len(self.mismatches)} mismatches"
+        )
+        if self.ok:
+            return header + "\nall resumed runs byte-identical to uninterrupted"
+        return "\n".join([header, *map(str, self.mismatches)])
+
+
+def _compare(
+    report: ResumeDeterminismReport,
+    n_workers: int,
+    layer: str,
+    pairs: dict[str, tuple[np.ndarray, np.ndarray]],
+) -> None:
+    registry = get_registry()
+    for name, (baseline, resumed) in pairs.items():
+        report.comparisons += 1
+        registry.count("verify.resume.comparisons")
+        baseline = np.asarray(baseline)
+        resumed = np.asarray(resumed)
+        if baseline.tobytes() == resumed.tobytes():
+            continue
+        registry.count("verify.resume.mismatches")
+        drift = int(np.count_nonzero(baseline != resumed))
+        report.mismatches.append(
+            ResumeMismatch(
+                n_workers=n_workers,
+                layer=layer,
+                field=name,
+                message=f"{drift} of {baseline.size} entries differ",
+            )
+        )
+
+
+def _flag(
+    report: ResumeDeterminismReport, n_workers: int, layer: str, field_name: str, message: str
+) -> None:
+    get_registry().count("verify.resume.mismatches")
+    report.mismatches.append(
+        ResumeMismatch(
+            n_workers=n_workers, layer=layer, field=field_name, message=message
+        )
+    )
+
+
+def check_resume_determinism(
+    worker_counts: tuple[int, ...] = (0, 2),
+    *,
+    seed: int = 0,
+    servers: int = 6,
+    vms: int = 12,
+    tightness: float = 0.85,
+    population_size: int = 12,
+    max_evaluations: int = 144,
+    checkpoint_every: int = 2,
+) -> ResumeDeterminismReport:
+    """Prove kill-and-resume byte-identity on one seeded scenario.
+
+    For each worker count three trajectories run: the uninterrupted
+    baseline (full budget, no checkpoints), the "killed" run (half
+    budget, checkpointing every ``checkpoint_every`` generations) and
+    the resumed run (full budget, same checkpoint directory).  The
+    instance is kept tight so the repair path carries real state (the
+    parallel batch counter) across the checkpoint.
+    """
+    worker_counts = tuple(int(w) for w in worker_counts)
+    report = ResumeDeterminismReport(
+        worker_counts=worker_counts, seed=seed, servers=servers, vms=vms
+    )
+    registry = get_registry()
+    registry.count("verify.resume.checks")
+
+    spec = ScenarioSpec(
+        servers=servers, datacenters=2, vms=vms, tightness=tightness
+    )
+    scenario = ScenarioGenerator(spec, seed=seed).generate()
+    merged, _ = Request.concatenate(scenario.requests)
+    compiled = CompiledProblem(scenario.infrastructure, merged)
+    truncated_budget = max(
+        max_evaluations // 2, population_size * (checkpoint_every + 2)
+    )
+
+    def engine_run(
+        engine: ParallelEngine | None,
+        budget: int,
+        manager: CheckpointManager | None,
+    ):
+        config = NSGAConfig(
+            population_size=population_size,
+            max_evaluations=budget,
+            reference_point_divisions=4,
+            checkpoint_every=checkpoint_every,
+            seed=seed,
+        )
+        repair = TabuRepair(
+            scenario.infrastructure,
+            merged,
+            seed=config.seed,
+            compiled=compiled,
+            engine=engine,
+        )
+        evaluator = compiled.evaluator()
+        nsga = NSGA3(config=config, handler=RepairHandling(repair))
+        return nsga.run(
+            evaluator,
+            checkpoint_manager=manager,
+            fingerprint=compiled.fingerprint,
+        )
+
+    def allocator_run(n_workers: int, budget: int, directory: str | None):
+        from repro.hybrid.nsga_allocators import NSGA3TabuAllocator
+
+        config = NSGAConfig(
+            population_size=population_size,
+            max_evaluations=budget,
+            reference_point_divisions=4,
+            n_workers=n_workers,
+            checkpoint_dir=directory,
+            checkpoint_every=checkpoint_every,
+            seed=seed,
+        )
+        allocator = NSGA3TabuAllocator(config=config)
+        try:
+            return allocator.allocate(scenario.infrastructure, scenario.requests)
+        finally:
+            allocator.close()
+
+    for n_workers in worker_counts:
+        def pooled() -> ParallelEngine | None:
+            return ParallelEngine(n_workers) if n_workers >= 1 else None
+
+        # Engine layer: baseline, killed (truncated budget), resumed.
+        engine = pooled()
+        try:
+            baseline = engine_run(engine, max_evaluations, None)
+        finally:
+            if engine is not None:
+                engine.close()
+        with tempfile.TemporaryDirectory() as directory:
+            manager = CheckpointManager(directory)
+            engine = pooled()
+            try:
+                engine_run(engine, truncated_budget, manager)
+            finally:
+                if engine is not None:
+                    engine.close()
+            engine = pooled()
+            try:
+                resumed = engine_run(engine, max_evaluations, manager)
+            finally:
+                if engine is not None:
+                    engine.close()
+        if resumed.resumed_from is None:
+            _flag(
+                report,
+                n_workers,
+                "engine",
+                "resumed_from",
+                "second run did not pick up the checkpoint",
+            )
+        else:
+            report.resumed_generations.append(resumed.resumed_from)
+        _compare(
+            report,
+            n_workers,
+            "engine",
+            {
+                "population.genomes": (
+                    baseline.population.genomes,
+                    resumed.population.genomes,
+                ),
+                "population.objectives": (
+                    baseline.population.objectives,
+                    resumed.population.objectives,
+                ),
+                "population.violations": (
+                    baseline.population.violations,
+                    resumed.population.violations,
+                ),
+                "evaluations": (
+                    np.asarray(baseline.evaluations),
+                    np.asarray(resumed.evaluations),
+                ),
+            },
+        )
+
+        # Allocator layer: the full merge/repair/select/post-process path.
+        baseline_outcome = allocator_run(n_workers, max_evaluations, None)
+        with tempfile.TemporaryDirectory() as directory:
+            allocator_run(n_workers, truncated_budget, directory)
+            resumed_outcome = allocator_run(n_workers, max_evaluations, directory)
+        if "resumed_from" not in resumed_outcome.extra:
+            _flag(
+                report,
+                n_workers,
+                "allocator",
+                "resumed_from",
+                "second allocate did not pick up the checkpoint",
+            )
+        _compare(
+            report,
+            n_workers,
+            "allocator",
+            {
+                "outcome.assignment": (
+                    baseline_outcome.assignment,
+                    resumed_outcome.assignment,
+                ),
+                "outcome.objectives": (
+                    baseline_outcome.objectives,
+                    resumed_outcome.objectives,
+                ),
+                "outcome.accepted": (
+                    baseline_outcome.accepted,
+                    resumed_outcome.accepted,
+                ),
+            },
+        )
+    return report

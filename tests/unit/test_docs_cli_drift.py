@@ -1,0 +1,119 @@
+"""Doc-drift guard: every ``python -m repro …`` command the docs show
+must parse against the real argparse tree.
+
+Docs rot silently: a renamed flag or retired subcommand leaves README
+snippets that fail for anyone who pastes them.  This test extracts
+every fenced command from README.md and docs/*.md and runs it through
+:func:`repro.cli.build_parser` (parse only — nothing is executed), so
+renaming ``--checkpoint-dir`` without updating the docs fails CI.
+"""
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Fence info-strings whose contents are shell commands worth checking.
+_SHELL_FENCES = {"bash", "sh", "shell", "console", ""}
+
+_FENCE_RE = re.compile(r"^```(\S*)\s*$")
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [path for path in files if path.exists()]
+
+
+def _shell_blocks(text: str):
+    """Yield the lines of each shell-flavoured fenced code block."""
+    inside = False
+    shell = False
+    block: list[str] = []
+    for line in text.splitlines():
+        match = _FENCE_RE.match(line.strip())
+        if match:
+            if inside:
+                if shell:
+                    yield block
+                inside = False
+                block = []
+            else:
+                inside = True
+                shell = match.group(1).lower() in _SHELL_FENCES
+            continue
+        if inside and shell:
+            block.append(line)
+
+
+def _join_continuations(lines: list[str]) -> list[str]:
+    joined: list[str] = []
+    buffer = ""
+    for line in lines:
+        stripped = line.strip()
+        if stripped.endswith("\\"):
+            buffer += stripped[:-1] + " "
+            continue
+        joined.append(buffer + stripped)
+        buffer = ""
+    if buffer:
+        joined.append(buffer.strip())
+    return joined
+
+
+def documented_commands() -> list[tuple[str, str]]:
+    """All ``python -m repro …`` commands found in the docs, as
+    (source-file:line-agnostic label, command) pairs."""
+    commands: list[tuple[str, str]] = []
+    for path in _doc_files():
+        for block in _shell_blocks(path.read_text()):
+            for command in _join_continuations(block):
+                if command.startswith("python -m repro"):
+                    commands.append((path.name, command))
+    return commands
+
+
+_COMMANDS = documented_commands()
+
+
+def _parse(command: str):
+    """Parse a documented command against the real CLI tree."""
+    tokens = shlex.split(command, comments=True)
+    # Drop the "python -m repro" prefix; argparse sees the rest.
+    return build_parser().parse_args(tokens[3:])
+
+
+class TestDocsMatchCli:
+    def test_docs_actually_contain_commands(self):
+        """The extractor itself must not silently rot: the docs carry
+        at least a dozen runnable commands today."""
+        assert len(_COMMANDS) >= 10, _COMMANDS
+
+    @pytest.mark.parametrize(
+        "source,command", _COMMANDS, ids=[f"{s}:{c}" for s, c in _COMMANDS]
+    )
+    def test_documented_command_parses(self, source, command):
+        try:
+            self_args = _parse(command)
+        except SystemExit:
+            pytest.fail(
+                f"{source} documents a command the CLI rejects: {command!r}"
+            )
+        assert self_args.func is not None
+
+    def test_guard_catches_invented_flag(self, capsys):
+        """Sanity check on the guard itself: a flag that does not exist
+        must fail parsing (otherwise this whole test proves nothing)."""
+        with pytest.raises(SystemExit):
+            _parse("python -m repro fig9 --no-such-flag-ever")
+        capsys.readouterr()  # swallow argparse's usage message
+
+    def test_guard_catches_invented_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            _parse("python -m repro frobnicate")
+        capsys.readouterr()

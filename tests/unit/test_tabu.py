@@ -267,3 +267,101 @@ class TestTabuMemoryRegression:
         # the freshly vacated server must not be re-entered.
         assert accepted[0] is True
         assert not any(accepted[1:])
+
+
+class TestDeadlineRegression:
+    """Regression: an EA ``time_limit`` must also bound the tabu-repair
+    inner loop.  Before the fix, the NSGA loop checked its budget only
+    between generations, so one pathological repair batch (huge
+    ``max_rounds`` on a tight instance) could blow arbitrarily far past
+    the configured limit."""
+
+    @staticmethod
+    def _tight_instance():
+        """One tiny server pool under heavy pressure: most random
+        genomes are infeasible, so repair always has work to do."""
+        from repro.model import AttributeSchema, Infrastructure
+
+        infra = Infrastructure(
+            capacity=np.full((4, 1), 10.0),
+            capacity_factor=np.ones((4, 1)),
+            operating_cost=np.ones(4),
+            usage_cost=np.full(4, 0.5),
+            max_load=np.full((4, 1), 0.8),
+            max_qos=np.full((4, 1), 0.9),
+            server_datacenter=np.zeros(4, dtype=np.int64),
+            schema=AttributeSchema(names=("cpu",)),
+        )
+        request = Request(
+            demand=np.full((12, 1), 3.0),
+            qos_guarantee=np.full(12, 0.8),
+            downtime_cost=np.ones(12),
+            migration_cost=np.ones(12),
+            schema=infra.schema,
+        )
+        return infra, request
+
+    def test_passed_deadline_is_pass_through(self):
+        """With the budget already spent, repair must return its input
+        untouched instead of starting a round it cannot afford."""
+        import time
+
+        infra, request = self._tight_instance()
+        repair = TabuRepair(infra, request, max_rounds=10_000, seed=0)
+        repair.set_deadline(time.perf_counter())  # already passed
+        broken = np.zeros(12, dtype=np.int64)  # everything on server 0
+        assert np.array_equal(repair.repair_genome(broken), broken)
+        assert repair.moves_performed == 0
+
+    def test_passed_deadline_skips_population_rows(self):
+        import time
+
+        infra, request = self._tight_instance()
+        repair = TabuRepair(infra, request, max_rounds=10_000, seed=0)
+        rng = np.random.default_rng(0)
+        population = rng.integers(0, 4, size=(8, 12))
+        repair.set_deadline(time.perf_counter())
+        assert np.array_equal(repair(population), population)
+        # The batch counter still advances: a later resume replays the
+        # same RNG addressing whether or not the deadline fired.
+        assert repair.runtime_state()["batch_counter"] == 1
+
+    def test_clearing_deadline_reenables_repair(self):
+        import time
+
+        infra, request = self._tight_instance()
+        repair = TabuRepair(infra, request, max_rounds=8, seed=0)
+        broken = np.zeros(12, dtype=np.int64)
+        repair.set_deadline(time.perf_counter())
+        assert np.array_equal(repair.repair_genome(broken), broken)
+        repair.set_deadline(None)
+        assert not np.array_equal(repair.repair_genome(broken), broken)
+
+    def test_ea_time_limit_bounds_repair_wall_clock(self):
+        """End to end: a tiny ``time_limit`` with an absurdly expensive
+        repairer must terminate promptly, not after ``max_rounds``."""
+        import time
+
+        from repro.ea import NSGA3, NSGAConfig
+        from repro.ea.constraint_handling import RepairHandling
+
+        infra, request = self._tight_instance()
+        evaluator = PopulationEvaluator(infra, request)
+        repair = TabuRepair(
+            infra, request, max_rounds=100_000, tenure=2, seed=0
+        )
+        config = NSGAConfig(
+            population_size=12,
+            max_evaluations=6_000,
+            reference_point_divisions=4,
+            time_limit=0.15,
+            seed=0,
+        )
+        algorithm = NSGA3(config, handler=RepairHandling(repair))
+        start = time.perf_counter()
+        result = algorithm.run(evaluator)
+        elapsed = time.perf_counter() - start
+        # Generous ceiling: the limit is 0.15 s; without deadline
+        # propagation the repair loop alone runs for minutes.
+        assert elapsed < 5.0
+        assert result.evaluations < config.max_evaluations

@@ -26,7 +26,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison.
 """
 
-from repro import telemetry, verify
+from repro import service, telemetry, verify
 from repro.allocator import Allocator, BatchOutcome
 from repro.baselines import (
     BestFitAllocator,
@@ -144,4 +144,6 @@ __all__ = [
     "telemetry",
     # conformance
     "verify",
+    # the always-on allocation control plane
+    "service",
 ]

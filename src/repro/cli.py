@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro table3
     python -m repro generate --servers 40 --vms 80 --out scenario.json
     python -m repro verify   --fuzz 20 --seed 7
+    python -m repro serve    --port 8080 --checkpoint-dir state/
     python -m repro compare  --telemetry console       # live event stream
     python -m repro fig9     --telemetry jsonl:events.jsonl
 
@@ -332,6 +333,15 @@ def cmd_verify(args) -> int:
         print()
         print(resume_report.format())
         ok = ok and resume_report.ok
+    if args.check_service is not False:
+        from repro.verify import check_service_conformance
+
+        service_report = check_service_conformance(
+            args.check_service, seed=args.seed
+        )
+        print()
+        print(service_report.format())
+        ok = ok and service_report.ok
     snapshot = get_registry().format_summary()
     verify_lines = [line for line in snapshot.splitlines() if "verify." in line]
     if verify_lines:
@@ -362,6 +372,34 @@ def cmd_resume(args) -> int:
     argv = [str(chunk) for chunk in manifest["argv"]]
     print(f"resuming campaign: python -m repro {' '.join(argv)}")
     return main(argv)
+
+
+def cmd_serve(args) -> int:
+    """Run ``python -m repro serve``: the always-on allocation service."""
+    from repro.service import ServiceApp, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        servers=args.servers,
+        datacenters=args.datacenters,
+        vms=args.vms,
+        tightness=args.tightness,
+        seed=args.seed,
+        window_length=args.window_length,
+        window_every=args.window_every,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every or 50,
+        max_queue=args.max_queue,
+        rate=args.rate,
+        burst=args.burst,
+        population=args.population,
+        evaluations=args.evaluations,
+        workers=args.workers,
+        scenario=args.scenario,
+        resume=args.resume,
+    )
+    return ServiceApp(config).run()
 
 
 def cmd_generate(args) -> int:
@@ -447,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("generate", cmd_generate, "dump a scenario to JSON"),
         ("diagnose", cmd_diagnose, "pre-flight feasibility checks on a scenario JSON"),
         ("verify", cmd_verify, "cross-solver conformance fuzzing (docs/VERIFY.md)"),
+        ("serve", cmd_serve, "always-on allocation service (docs/SERVICE.md)"),
     ]:
         p = sub.add_parser(name, help=help_text, parents=[common])
         p.set_defaults(func=fn)
@@ -495,6 +534,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "checkpoint subsystem, serial and 2-worker "
                 "(docs/RUNBOOK.md)",
             )
+            p.add_argument(
+                "--check-service",
+                nargs="?",
+                default=False,
+                const=None,
+                metavar="DIR",
+                help="also prove live-vs-batch conformance of the "
+                "allocation service: bare flag replays a synthetic "
+                "in-process session, DIR replays the admission log of "
+                "a `repro serve` checkpoint directory (docs/SERVICE.md)",
+            )
         if name == "fig8":
             p.add_argument(
                 "--full", action="store_true", help="include 400x800 and 800x1600"
@@ -502,6 +552,56 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("compare", "generate"):
             p.add_argument("--servers", type=int, default=32)
             p.add_argument("--vms", type=int, default=64)
+        if name == "serve":
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument(
+                "--port",
+                type=int,
+                default=8080,
+                help="listen port (0 = ephemeral; the bound port is printed)",
+            )
+            p.add_argument("--servers", type=int, default=16)
+            p.add_argument("--datacenters", type=int, default=2)
+            p.add_argument("--vms", type=int, default=32)
+            p.add_argument(
+                "--window-length",
+                type=float,
+                default=1.0,
+                help="logical duration of one admission micro-batch window",
+            )
+            p.add_argument(
+                "--window-every",
+                type=float,
+                default=30.0,
+                metavar="SECONDS",
+                help="interval between background reoptimization cycles",
+            )
+            p.add_argument(
+                "--max-queue",
+                type=int,
+                default=256,
+                help="admission queue bound (overflow answers 429)",
+            )
+            p.add_argument(
+                "--rate",
+                type=float,
+                default=0.0,
+                help="token-bucket rate limit in requests/s (0 = unlimited)",
+            )
+            p.add_argument("--burst", type=int, default=64)
+            p.add_argument(
+                "--scenario",
+                default=None,
+                metavar="JSON",
+                help="serve this scenario's infrastructure instead of "
+                "generating one",
+            )
+            p.add_argument(
+                "--resume",
+                action="store_true",
+                help="restore state from --checkpoint-dir's service "
+                "checkpoint (docs/SERVICE.md)",
+            )
         if name == "generate":
             p.add_argument("--out", default="scenario.json")
         if name == "diagnose":

@@ -152,10 +152,27 @@ class TimeWindowScheduler:
         """Servers currently out of service."""
         return frozenset(self._failed_servers)
 
+    def has_request(self, key: str) -> bool:
+        """Whether ``key`` was ever submitted (hosted, pending or rejected).
+
+        Submitted keys are permanent: re-submitting one raises, so a
+        live admission layer must pre-check here before enqueueing.
+        """
+        return key in self._requests
+
+    def request_for(self, key: str) -> Request | None:
+        """The request object submitted under ``key``, if any."""
+        return self._requests.get(key)
+
     @property
     def clock(self) -> float:
         """Current simulated time."""
         return self._clock
+
+    @property
+    def window_index(self) -> int:
+        """Index of the next window to run (= windows closed so far)."""
+        return self._window_index
 
     @property
     def pending_events(self) -> int:
@@ -216,6 +233,17 @@ class TimeWindowScheduler:
                 if event.server not in self._failed_servers:
                     self._failed_servers.add(event.server)
                     failures.append(event.server)
+                    # A tenant displaced by an *earlier* failure in this
+                    # same window may still reference this server in the
+                    # previous assignment it carries into the batch.
+                    # Scrub those genes too: the second forced move must
+                    # not be charged as a migration, and the allocator
+                    # must never anchor to an out-of-service host.
+                    for previous in batch_previous:
+                        if previous is not None and np.any(
+                            previous == event.server
+                        ):
+                            previous[previous == event.server] = UNPLACED
                     for key, request, previous in self._displace_tenants_on(
                         event.server
                     ):

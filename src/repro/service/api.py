@@ -1,0 +1,305 @@
+"""Hand-rolled HTTP/1.1 front door of the allocation service.
+
+Stdlib-only by design: a tiny request parser on
+:func:`asyncio.start_server` (request line + headers + Content-Length
+body, keep-alive), JSON in and out, no framework.  Endpoints:
+
+========================== =============================================
+``POST /requests``          submit a bundle → 200 accepted / 409
+                            rejected (structured reason) / 429 throttled
+``DELETE /requests/{key}``  tenant departure → 200 / 404 / 409
+``POST /servers/{id}/drain``    evacuate a server (forced failure)
+``POST /servers/{id}/recover``  return a server to service
+``POST /reoptimize``        run one synchronous background cycle
+``GET /placements``         residents, failed servers, epoch
+``GET /metrics``            telemetry registry + reoptimizer cycles
+``GET /healthz``            liveness + queue depth
+========================== =============================================
+
+Overload shows up as 429 twice over: a token bucket throttles the raw
+request rate, and the admission controller's bounded queue rejects
+what the worker cannot keep up with.  Handler failures map to 500 —
+the CI smoke test asserts that counter stays at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any
+
+from repro.errors import ReproError
+from repro.serialization import request_from_dict
+from repro.service.admission import AdmissionController
+from repro.service.reoptimizer import Reoptimizer
+from repro.service.state import ServiceState
+from repro.telemetry import get_registry
+
+__all__ = ["TokenBucket", "ApiServer"]
+
+_MAX_BODY = 1 << 20  #: 1 MiB request-body cap.
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, burst of ``burst``.
+
+    ``rate <= 0`` disables throttling (every :meth:`allow` passes).
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        self._tokens = float(self.burst)
+        self._last = time.monotonic()
+
+    def allow(self) -> bool:
+        """Consume one token if available."""
+        if self.rate <= 0:
+            return True
+        now = time.monotonic()
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class ApiServer:
+    """The asyncio HTTP server wiring state, admission and reoptimizer."""
+
+    def __init__(
+        self,
+        state: ServiceState,
+        controller: AdmissionController,
+        reoptimizer: Reoptimizer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rate: float = 0.0,
+        burst: int = 64,
+    ) -> None:
+        self.state = state
+        self.controller = controller
+        self.reoptimizer = reoptimizer
+        self.host = host
+        self.port = port
+        self.bucket = TokenBucket(rate, burst)
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and start serving; returns the actual port (for port 0)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                status, payload = await self._dispatch(method, path, body)
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes, bool] | None:
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, asyncio.LimitOverrunError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, path, version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        connection = headers.get("connection", "").lower()
+        keep_alive = version == "HTTP/1.1" and connection != "close"
+        return method, path, body, keep_alive
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        get_registry().count("service.http.responses", status=status)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        get_registry().count("service.http.requests", method=method)
+        try:
+            return await self._route(method, path, body)
+        except Exception as exc:  # noqa: BLE001 - the 500 of last resort
+            get_registry().count("service.http.errors")
+            return 500, {"error": "internal", "message": str(exc)}
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "epoch": self.state.epoch,
+                "tenants": self.state.tenant_count(),
+                "queue_depth": self.controller.queue_depth,
+            }
+        if method == "GET" and path == "/metrics":
+            snapshot = get_registry().snapshot()
+            metrics = {
+                "counters": dict(snapshot.counters),
+                "gauges": dict(snapshot.gauges),
+                "histograms": {
+                    name: {
+                        "count": summary.count,
+                        "total": summary.total,
+                        "mean": summary.mean,
+                        "min": summary.minimum if summary.count else 0.0,
+                        "max": summary.maximum if summary.count else 0.0,
+                    }
+                    for name, summary in snapshot.histograms.items()
+                },
+            }
+            cycles = (
+                [c.to_dict() for c in self.reoptimizer.cycles]
+                if self.reoptimizer is not None
+                else []
+            )
+            return 200, {"metrics": metrics, "reoptimize_cycles": cycles}
+        if method == "GET" and path == "/placements":
+            return 200, {
+                "epoch": self.state.epoch,
+                "residents": self.state.residents(),
+                "failed_servers": sorted(
+                    self.state.scheduler.failed_servers
+                ),
+                "window_index": self.state.scheduler.window_index,
+            }
+        if method == "POST" and path == "/requests":
+            return await self._post_request(body)
+        if method == "DELETE" and path.startswith("/requests/"):
+            return await self._delete_request(path[len("/requests/") :])
+        if method == "POST" and path.startswith("/servers/"):
+            return await self._post_server(path[len("/servers/") :])
+        if method == "POST" and path == "/reoptimize":
+            if self.reoptimizer is None:
+                return 404, {"error": "reoptimizer disabled"}
+            cycle = await self.reoptimizer.run_cycle()
+            if cycle is None:
+                return 200, {"ran": False, "reason": "empty"}
+            return 200, {"ran": True, "cycle": cycle.to_dict()}
+        return 404, {"error": "no such route", "path": path}
+
+    async def _post_request(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        if not self.bucket.allow():
+            get_registry().count("service.throttled")
+            return 429, {"error": "throttled"}
+        try:
+            payload = json.loads(body.decode() or "{}")
+            key = payload["key"]
+            request = request_from_dict(payload["request"])
+        except (ValueError, KeyError, TypeError, ReproError) as exc:
+            return 400, {"error": "bad request", "message": str(exc)}
+        if not isinstance(key, str) or not key:
+            return 400, {"error": "bad request", "message": "key must be a string"}
+        decision = await self.controller.submit_request(key, request)
+        if decision is None:
+            return 429, {"error": "queue full"}
+        return (200 if decision.accepted else 409), decision.to_dict()
+
+    async def _delete_request(self, key: str) -> tuple[int, dict[str, Any]]:
+        if not key:
+            return 400, {"error": "bad request", "message": "missing key"}
+        decision = await self.controller.depart(key)
+        if decision is None:
+            return 429, {"error": "queue full"}
+        if decision.reason == "unknown_key":
+            return 404, decision.to_dict()
+        return (200 if decision.accepted else 409), decision.to_dict()
+
+    async def _post_server(self, tail: str) -> tuple[int, dict[str, Any]]:
+        server_str, _, verb = tail.partition("/")
+        try:
+            server = int(server_str)
+        except ValueError:
+            return 400, {"error": "bad request", "message": "server id not an int"}
+        if not 0 <= server < self.state.infrastructure.m:
+            return 404, {"error": "no such server", "server": server}
+        if verb == "drain":
+            decision = await self.controller.drain(server)
+        elif verb == "recover":
+            decision = await self.controller.recover(server)
+        else:
+            return 404, {"error": "no such route"}
+        if decision is None:
+            return 429, {"error": "queue full"}
+        return (200 if decision.accepted else 409), decision.to_dict()

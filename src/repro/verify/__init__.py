@@ -21,7 +21,11 @@ way.  This package is that guarantee, in three layers:
 * :mod:`repro.verify.resume` — kill-and-resume byte-identity of the
   checkpoint subsystem: a run truncated at a checkpoint boundary and
   resumed from disk must finish exactly as the uninterrupted run
-  (``python -m repro verify --check-resume``).
+  (``python -m repro verify --check-resume``);
+* :mod:`repro.verify.service` — live-vs-batch conformance of the
+  allocation service: replaying a service admission log through a
+  fresh batch scheduler reproduces residents, ledger and clock byte
+  for byte (``python -m repro verify --check-service``).
 
 Telemetry lands in the ``verify.*`` namespace (see
 ``docs/OBSERVABILITY.md``); the checker catalog, oracle semantics and
@@ -63,6 +67,11 @@ from repro.verify.resume import (
     ResumeMismatch,
     check_resume_determinism,
 )
+from repro.verify.service import (
+    ServiceConformanceReport,
+    ServiceMismatch,
+    check_service_conformance,
+)
 
 __all__ = [
     # invariants
@@ -99,4 +108,8 @@ __all__ = [
     "ResumeDeterminismReport",
     "ResumeMismatch",
     "check_resume_determinism",
+    # live-service conformance
+    "ServiceConformanceReport",
+    "ServiceMismatch",
+    "check_service_conformance",
 ]

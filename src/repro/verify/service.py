@@ -1,0 +1,299 @@
+"""Service conformance: the live control plane vs the batch scheduler.
+
+The service's claim (``docs/SERVICE.md``) is that live admission is
+just the paper's cyclic time-window model run in micro-batches: every
+mutation lands in a replayable admission log, and replaying that log
+through a *fresh* batch :class:`~repro.scheduler.window.TimeWindowScheduler`
+with the same seeded admission allocator must reproduce the live
+state byte for byte — residents, genes, committed-usage ledger, clock.
+This module is that differential oracle:
+
+1. obtain a live session — either synthetically (drive a seeded trace
+   through :class:`~repro.service.state.ServiceState` in-process, plus
+   one real background-style reoptimization pass) or from a service
+   checkpoint directory written by ``python -m repro serve``;
+2. replay its admission log through
+   :func:`~repro.service.state.replay_admission_log`;
+3. compare per-record decisions and final state bytes, then run the
+   PR 3 invariant catalog over the replayed placements.
+
+``python -m repro verify --check-service [DIR]`` runs this from the
+CLI; telemetry lands in ``verify.service.*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ea.config import NSGAConfig
+from repro.model.request import Request
+from repro.telemetry import get_registry
+from repro.verify.invariants import CheckContext, run_invariants
+from repro.workloads.generator import ScenarioSpec
+from repro.workloads.traces import TraceGenerator, TraceSpec
+
+__all__ = [
+    "ServiceMismatch",
+    "ServiceConformanceReport",
+    "check_service_conformance",
+]
+
+#: Invariants meaningful for a committed (all-accepted) placement.
+_PLACEMENT_INVARIANTS = (
+    "assignment_well_formed",
+    "capacity_respected",
+    "group_closure",
+)
+
+
+@dataclass(frozen=True)
+class ServiceMismatch:
+    """One divergence between the live session and its replay."""
+
+    field: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.field}: {self.message}"
+
+
+@dataclass
+class ServiceConformanceReport:
+    """Outcome of one :func:`check_service_conformance` pass."""
+
+    source: str  #: "synthetic" or the checkpoint directory
+    records: int = 0
+    windows: int = 0
+    reoptimizations: int = 0
+    residents: int = 0
+    comparisons: int = 0
+    invariants_checked: int = 0
+    mismatches: list[ServiceMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the replay reproduced the live session exactly."""
+        return not self.mismatches
+
+    def format(self) -> str:
+        """Human-readable summary plus each mismatch."""
+        header = (
+            f"service conformance [{self.source}]: {self.records} log records "
+            f"({self.windows} windows, {self.reoptimizations} reoptimizations) "
+            f"→ {self.residents} residents, {self.comparisons} comparisons, "
+            f"{self.invariants_checked} invariants, "
+            f"{len(self.mismatches)} mismatches"
+        )
+        if self.ok:
+            return header + "\nreplay reproduces the live ledger byte-for-byte"
+        return "\n".join([header, *map(str, self.mismatches)])
+
+
+def _flag(report: ServiceConformanceReport, field_name: str, message: str) -> None:
+    get_registry().count("verify.service.mismatches")
+    report.mismatches.append(ServiceMismatch(field=field_name, message=message))
+
+
+def _synthetic_session(
+    seed: int, servers: int, vms: int, windows: int
+):
+    """Drive a seeded trace through a live ServiceState in-process."""
+    from repro.service.reoptimizer import shadow_reoptimize
+    from repro.service.state import ServiceState
+
+    from repro.workloads.generator import ScenarioGenerator
+
+    scenario_spec = ScenarioSpec(
+        servers=servers, datacenters=2, vms=max(vms, 8), max_request_size=3
+    )
+    estate = ScenarioGenerator(scenario_spec, seed=seed).generate().infrastructure
+    trace, _ = TraceGenerator(
+        TraceSpec(horizon=float(windows), arrival_rate=3.0, mean_lifetime=4.0),
+        scenario_spec,
+        seed=seed,
+    ).generate(key_prefix=f"svc-{seed}")
+    state = ServiceState(estate, seed=seed)
+
+    # Bucket trace events into admission micro-batches by unit time,
+    # exactly as the live admission worker would close them.
+    events = sorted(
+        [("arrival", e.time, e.key, e.request) for e in trace.arrivals]
+        + [("departure", e.time, e.key, None) for e in trace.departures],
+        key=lambda item: item[1],
+    )
+    hosted: set[str] = set()
+    for window in range(windows):
+        arrivals = []
+        departures = []
+        for kind, at, key, request in events:
+            if not window <= at < window + 1:
+                continue
+            if kind == "arrival":
+                arrivals.append((key, request))
+            elif key in hosted:
+                departures.append(key)
+        report = state.admit(arrivals=arrivals, departures=departures)
+        hosted |= set(report.accepted)
+        hosted -= set(report.departures)
+
+        # One mid-session background-style reoptimization pass.  The
+        # production hypervolume guard is deliberately skipped here:
+        # conformance is about the log replaying exactly, and a
+        # reoptimize record must be part of what gets replayed.
+        if window == windows // 2 and state.tenant_count():
+            payload, epoch = state.snapshot()
+            result = shadow_reoptimize(
+                estate,
+                payload,
+                NSGAConfig(population_size=12, max_evaluations=144, seed=seed),
+            )
+            if result["feasible"]:
+                state.apply_reoptimization(result["assignments"], epoch)
+    return estate, state
+
+
+def _live_from_checkpoint(checkpoint_dir: str):
+    """Load the live side from a ``repro serve`` checkpoint directory."""
+    from repro.runtime.checkpoint import CheckpointManager
+    from repro.serialization import infrastructure_from_dict
+    from repro.service.app import SERVICE_CHECKPOINT_KIND, SERVICE_CHECKPOINT_NAME
+    from repro.service.state import ServiceState
+
+    payload = CheckpointManager(checkpoint_dir).load_state(
+        SERVICE_CHECKPOINT_NAME, SERVICE_CHECKPOINT_KIND
+    )
+    estate = infrastructure_from_dict(payload["infrastructure"])
+    state = ServiceState(
+        estate,
+        window_length=float(payload.get("window_length", 1.0)),
+        seed=int(payload["seed"]),
+    )
+    state.restore_payload(payload)
+    return estate, state
+
+
+def check_service_conformance(
+    checkpoint_dir: str | None = None,
+    *,
+    seed: int = 0,
+    servers: int = 8,
+    vms: int = 24,
+    windows: int = 8,
+) -> ServiceConformanceReport:
+    """Prove live-vs-batch equivalence of the service's admission log.
+
+    Without ``checkpoint_dir`` a synthetic session is generated
+    in-process (seeded trace, one reoptimization pass); with it, the
+    service checkpoint written by ``python -m repro serve`` is loaded.
+    Either way the session's admission log is replayed through a fresh
+    batch scheduler and every decision and final byte is compared.
+    """
+    from repro.service.state import replay_admission_log
+
+    registry = get_registry()
+    registry.count("verify.service.checks")
+    if checkpoint_dir is None:
+        source = "synthetic"
+        estate, live = _synthetic_session(seed, servers, vms, windows)
+    else:
+        source = str(checkpoint_dir)
+        estate, live = _live_from_checkpoint(checkpoint_dir)
+
+    report = ServiceConformanceReport(source=source, records=len(live.log))
+    report.windows = sum(1 for r in live.log if r.get("type") == "window")
+    report.reoptimizations = sum(
+        1 for r in live.log if r.get("type") == "reoptimize"
+    )
+
+    replayed = replay_admission_log(
+        estate,
+        live.log,
+        seed=live.seed,
+        window_length=live.scheduler.window_length,
+    )
+
+    # Per-record decision equivalence: the replay's own log must agree
+    # with the live log on every accept/reject/displace verdict.
+    for index, (lrec, rrec) in enumerate(zip(live.log, replayed.log)):
+        for field_name in ("accepted", "rejected", "displaced"):
+            if field_name not in lrec:
+                continue
+            report.comparisons += 1
+            registry.count("verify.service.comparisons")
+            if list(lrec[field_name]) != list(rrec.get(field_name, [])):
+                _flag(
+                    report,
+                    f"log[{index}].{field_name}",
+                    f"live {lrec[field_name]!r} != replay "
+                    f"{rrec.get(field_name)!r}",
+                )
+
+    # Final-state byte identity.
+    live_residents = live.residents()
+    replay_residents = replayed.residents()
+    report.residents = len(live_residents)
+    report.comparisons += 1
+    if sorted(live_residents) != sorted(replay_residents):
+        _flag(
+            report,
+            "residents",
+            f"live keys {sorted(live_residents)} != replay "
+            f"{sorted(replay_residents)}",
+        )
+    else:
+        for key, genes in live_residents.items():
+            report.comparisons += 1
+            if genes != replay_residents[key]:
+                _flag(
+                    report,
+                    f"residents[{key}]",
+                    f"live genes {genes} != replay {replay_residents[key]}",
+                )
+    live_usage = live.scheduler.state.committed_usage
+    replay_usage = replayed.scheduler.state.committed_usage
+    report.comparisons += 1
+    if live_usage.tobytes() != replay_usage.tobytes():
+        drift = int(np.count_nonzero(live_usage != replay_usage))
+        _flag(
+            report,
+            "committed_usage",
+            f"{drift} of {live_usage.size} ledger entries differ",
+        )
+    report.comparisons += 1
+    if (live.scheduler.clock, live.scheduler.window_index) != (
+        replayed.scheduler.clock,
+        replayed.scheduler.window_index,
+    ):
+        _flag(
+            report,
+            "clock",
+            f"live (t={live.scheduler.clock}, w={live.scheduler.window_index})"
+            f" != replay (t={replayed.scheduler.clock}, "
+            f"w={replayed.scheduler.window_index})",
+        )
+
+    # The replayed placements must satisfy the PR 3 invariant catalog.
+    if replay_residents:
+        keys = sorted(replay_residents)
+        requests = [replayed.scheduler.request_for(key) for key in keys]
+        merged, _ = Request.concatenate(requests)
+        assignment = np.concatenate(
+            [np.asarray(replay_residents[key], dtype=np.int64) for key in keys]
+        )
+        inv = run_invariants(
+            CheckContext(
+                infrastructure=estate,
+                requests=requests,
+                assignment=assignment,
+            ),
+            names=_PLACEMENT_INVARIANTS,
+        )
+        report.invariants_checked = len(inv.checked)
+        for violation in inv.violations:
+            _flag(report, f"invariant[{violation.invariant}]", str(violation))
+
+    if report.ok:
+        registry.count("verify.service.passes")
+    return report

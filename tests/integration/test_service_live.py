@@ -1,0 +1,234 @@
+"""Integration tests: the allocation service over real sockets.
+
+Two layers: in-process (boot the asyncio app, talk HTTP through the
+loadgen client, drive a reoptimize cycle) and out-of-process (spawn
+``python -m repro serve`` as a subprocess, replay traffic, SIGTERM it,
+and resume from the checkpoint it flushed — the acceptance demo)."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.model.request import Request
+from repro.serialization import request_to_dict
+from repro.service import LoadGenerator, ServiceApp, ServiceConfig
+from repro.service.loadgen import _Client
+from repro.verify import check_service_conformance
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestInProcess:
+    def _boot(self, **overrides):
+        config = ServiceConfig(
+            port=0,
+            servers=10,
+            vms=32,
+            seed=7,
+            population=12,
+            evaluations=144,
+            window_every=3600.0,
+            **overrides,
+        )
+        return ServiceApp(config)
+
+    async def _with_app(self, app, body):
+        serve_task = asyncio.create_task(app.serve())
+        try:
+            while app.api is None or app.api.port == 0:
+                await asyncio.sleep(0.02)
+            return await body(app.api.port)
+        finally:
+            app.shutdown()
+            await serve_task
+
+    def test_http_round_trips(self):
+        app = self._boot()
+
+        async def body(port):
+            client = _Client("127.0.0.1", port)
+            try:
+                status, health = await client.request("GET", "/healthz")
+                assert (status, health["status"]) == (200, "ok")
+
+                body_request = Request(
+                    demand=np.array([[1.0, 2.0, 10.0]]),
+                    qos_guarantee=np.array([0.9]),
+                    downtime_cost=np.array([1.0]),
+                    migration_cost=np.array([1.0]),
+                )
+                request = {
+                    "key": "t1",
+                    "request": request_to_dict(body_request),
+                }
+                status, decision = await client.request(
+                    "POST", "/requests", request
+                )
+                assert status == 200 and decision["accepted"]
+                assert decision["placement"]
+
+                status, dup = await client.request("POST", "/requests", request)
+                assert status == 409 and dup["reason"] == "duplicate_key"
+
+                status, placements = await client.request("GET", "/placements")
+                assert status == 200 and "t1" in placements["residents"]
+
+                server = decision["placement"][0]
+                status, drain = await client.request(
+                    "POST", f"/servers/{server}/drain"
+                )
+                assert status == 200 and "t1" in drain["displaced"]
+                status, _ = await client.request(
+                    "POST", f"/servers/{server}/recover"
+                )
+                assert status == 200
+
+                status, gone = await client.request("DELETE", "/requests/nope")
+                assert status == 404 and gone["reason"] == "unknown_key"
+
+                status, metrics = await client.request("GET", "/metrics")
+                assert status == 200
+                counters = metrics["metrics"]["counters"]
+                assert any(
+                    name.startswith("service.admission") for name in counters
+                )
+
+                status, bad = await client.request("GET", "/no-such-route")
+                assert status == 404 and "error" in bad
+            finally:
+                await client.close()
+
+        asyncio.run(self._with_app(app, body))
+
+    def test_reoptimize_endpoint_runs_cycle(self):
+        app = self._boot()
+
+        async def body(port):
+            generator = LoadGenerator("127.0.0.1", port, rate=300.0, seed=7)
+            load = await generator.run(max_events=60)
+            assert load.ok
+            client = _Client("127.0.0.1", port)
+            try:
+                status, result = await client.request("POST", "/reoptimize")
+                assert status == 200 and result["ran"]
+                cycle = result["cycle"]
+                if cycle["applied"]:
+                    assert cycle["hv_after"] >= cycle["hv_before"]
+                else:
+                    assert cycle["reason"] in (
+                        "non_improving",
+                        "stale",
+                        "infeasible",
+                    )
+            finally:
+                await client.close()
+
+        asyncio.run(self._with_app(app, body))
+
+    def test_token_bucket_throttles(self):
+        app = self._boot(rate=1.0, burst=1)
+
+        async def body(port):
+            generator = LoadGenerator("127.0.0.1", port, rate=500.0, seed=7)
+            load = await generator.run(max_events=40)
+            assert load.ok
+            return load
+
+        load = asyncio.run(self._with_app(app, body))
+        assert load.throttled > 0
+
+
+@pytest.mark.slow
+class TestSubprocessLifecycle:
+    def _spawn(self, checkpoint_dir, extra=()):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--servers",
+                "10",
+                "--vms",
+                "32",
+                "--seed",
+                "7",
+                "--checkpoint-dir",
+                checkpoint_dir,
+                "--window-every",
+                "3600",
+                *extra,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        line = process.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, f"no listening banner in {line!r}"
+        return process, int(match.group(1))
+
+    def test_sigterm_checkpoints_and_resume_restores(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "state")
+        process, port = self._spawn(checkpoint_dir)
+        try:
+            generator = LoadGenerator("127.0.0.1", port, rate=300.0, seed=7)
+            load = asyncio.run(generator.run(max_events=200))
+            assert load.ok, f"5xx during replay: {load.statuses}"
+            assert load.requests == 200
+
+            async def placements(p):
+                client = _Client("127.0.0.1", p)
+                try:
+                    _, body = await client.request("GET", "/placements")
+                finally:
+                    await client.close()
+                return body
+
+            live = asyncio.run(placements(port))
+
+            process.send_signal(signal.SIGTERM)
+            rc = process.wait(timeout=60)
+            assert rc == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+        # The flushed checkpoint replays cleanly through the oracle...
+        report = check_service_conformance(checkpoint_dir)
+        assert report.ok, report.format()
+
+        # ...and a resumed serve restores residents byte-identically.
+        process2, port2 = self._spawn(checkpoint_dir, extra=("--resume",))
+        try:
+            async def placements(p):
+                client = _Client("127.0.0.1", p)
+                try:
+                    _, body = await client.request("GET", "/placements")
+                finally:
+                    await client.close()
+                return body
+
+            resumed = asyncio.run(placements(port2))
+            assert resumed["residents"] == live["residents"]
+            assert resumed["epoch"] == live["epoch"]
+            process2.send_signal(signal.SIGTERM)
+            assert process2.wait(timeout=60) == 0
+        finally:
+            if process2.poll() is None:
+                process2.kill()
+                process2.wait()

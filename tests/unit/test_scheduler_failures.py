@@ -184,6 +184,61 @@ class TestServerFailure:
         assert closed[0].rejected == len(rejected)
         assert closed[0].failures == small_infra.m - 1
 
+    def test_double_failure_same_window_displaces_once(self, small_infra):
+        # A tenant spread over two servers, both of which fail in the
+        # same window: the first failure displaces it into the batch,
+        # and the second must scrub the batch entry's genes too — one
+        # displacement, zero migration charge, no anchoring to the
+        # second dead host.
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.submit("a", _request(scale=10.0), at=0.0)
+        first = scheduler.run_window()
+        assert first.accepted == ("a",)
+        servers = sorted(set(scheduler.state.previous_assignment("a").tolist()))
+        if len(servers) < 2:
+            pytest.skip("tenant not spread over two servers")
+
+        at = scheduler.clock + 0.1
+        for server in servers:
+            scheduler.schedule_failure(server, at=at)
+        report = scheduler.run_window()
+        assert tuple(sorted(report.failures)) == tuple(servers)
+        assert report.displaced == ("a",)
+        assert "a" in report.accepted
+        rehomed = set(scheduler.state.previous_assignment("a").tolist())
+        assert not rehomed & set(servers)
+        # Both source hosts are gone, so every gene is a forced boot:
+        # the migration objective must book zero moves.
+        assert report.outcome.objectives[2] == pytest.approx(0.0)
+        scheduler.state.verify_consistency()
+
+    def test_failure_then_unrelated_failure_keeps_partial_charge(
+        self, small_infra
+    ):
+        # Control for the scrub: when the second failed server never
+        # hosted the displaced tenant, its surviving genes still count
+        # as migration sources (the scrub must not over-erase).
+        scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
+        scheduler.submit("a", _request(scale=10.0), at=0.0)
+        scheduler.run_window()
+        servers = sorted(set(scheduler.state.previous_assignment("a").tolist()))
+        if len(servers) < 2:
+            pytest.skip("tenant not spread over two servers")
+        untouched = [s for s in range(small_infra.m) if s not in servers]
+
+        at = scheduler.clock + 0.1
+        scheduler.schedule_failure(servers[0], at=at)
+        scheduler.schedule_failure(untouched[0], at=at + 0.1)
+        report = scheduler.run_window()
+        assert report.displaced == ("a",)
+        assert "a" in report.accepted
+        # The gene on the surviving source host keeps its identity: if
+        # first-fit re-places it on the same server, no move is booked,
+        # and either way the platform stays consistent.
+        new = set(scheduler.state.previous_assignment("a").tolist())
+        assert servers[0] not in new and untouched[0] not in new
+        scheduler.state.verify_consistency()
+
     def test_reoptimize_respects_failed_servers(self, small_infra):
         scheduler = TimeWindowScheduler(small_infra, FirstFitAllocator())
         scheduler.submit("a", _request(), at=0.0)

@@ -1,0 +1,168 @@
+"""Anytime-portfolio bench: hypervolume vs wall-clock at fixed deadlines.
+
+The PR 7 pitch is that racing the paper's champion against the exact CP
+solve and a standalone tabu walk — all trading incumbents through one
+Pareto pool — buys a *better front per wall-clock second* than the
+champion alone.  This bench measures exactly that: at each deadline the
+solo NSGA-III + tabu allocator and the portfolio get the same wall
+clock, and the dominated hypervolume of their final feasible fronts is
+compared under one shared reference point.
+
+Gate: the pooled portfolio front must reach at least
+``HV_FLOOR_FRACTION`` of the solo hypervolume at *every* deadline (the
+small slack absorbs epoch-boundary granularity — both solvers only
+check the clock between atomic work units).  The portfolio winning
+outright is the expected outcome; losing badly fails the build.
+
+Also asserts the :func:`~repro.ea.hypervolume.reference_point` memo
+actually caches (same bytes in, same array object out) — the
+hypervolume path of this bench is what that cache serves.
+
+Results land in ``BENCH_portfolio.json`` at the repo root.  CI runs the
+default smoke deadlines on every push; ``REPRO_BENCH_FULL=1`` raises
+the scenario size and stretches the deadlines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import full_sweep_enabled, scenario_for
+from repro import NSGAConfig, NSGA3TabuAllocator
+from repro.ea.hypervolume import (
+    hypervolume,
+    reference_point,
+    reference_point_cache_info,
+)
+from repro.portfolio import PortfolioAllocator
+
+#: The portfolio must retain at least this fraction of the solo
+#: hypervolume at an equal deadline (slack = clock granularity).
+HV_FLOOR_FRACTION = 0.97
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_portfolio.json"
+
+
+def _solo_front(scenario, config, deadline_s):
+    """Deadline-bounded solo run; returns (front, generations)."""
+    allocator = NSGA3TabuAllocator(config)
+    try:
+        run = allocator.start(scenario.infrastructure, scenario.requests)
+        end = time.perf_counter() + deadline_s
+        run.set_deadline(end)
+        while time.perf_counter() < end and run.step():
+            pass
+        front = np.array(run.best_front(), copy=True)
+        generations = run.run.generation
+        run.finish()
+        return front, generations
+    finally:
+        allocator.close()
+
+
+def _portfolio_front(scenario, config, deadline_s):
+    """Deadline-bounded race; returns (front, epochs, pool size, trace).
+
+    ``trace`` is the anytime curve: (elapsed seconds, pooled-front
+    rows) after every epoch — the raw material of the hv-vs-wall-clock
+    story, recorded without extra solver work.
+    """
+    allocator = PortfolioAllocator(config=config)
+    try:
+        run = allocator.start(scenario.infrastructure, scenario.requests)
+        started = time.perf_counter()
+        run.set_deadline(started + deadline_s)
+        trace = []
+        while run.step():
+            trace.append(
+                (time.perf_counter() - started, len(run.pool))
+            )
+        front = np.array(run.best_front(), copy=True)
+        epochs, pool_size = run.epoch, len(run.pool)
+        run.finish()
+        return front, epochs, pool_size, trace
+    finally:
+        allocator.close()
+
+
+def test_portfolio_vs_solo_at_equal_deadlines():
+    full = full_sweep_enabled()
+    servers, vms = (32, 64) if full else (8, 16)
+    deadlines_ms = (2000.0, 4000.0, 8000.0) if full else (1000.0, 2000.0, 4000.0)
+    scenario = scenario_for(servers, vms, seed=7, tightness=0.7)
+    config = NSGAConfig(
+        population_size=20,
+        max_evaluations=10_000_000,  # the deadline is the budget
+        seed=7,
+    )
+
+    rows = []
+    fronts = []
+    for deadline_ms in deadlines_ms:
+        deadline_s = deadline_ms / 1000.0
+        solo_front, generations = _solo_front(scenario, config, deadline_s)
+        race_front, epochs, pool_size, trace = _portfolio_front(
+            scenario, config, deadline_s
+        )
+        fronts.extend([solo_front, race_front])
+        rows.append(
+            {
+                "deadline_ms": deadline_ms,
+                "solo_front": solo_front,
+                "portfolio_front": race_front,
+                "solo_generations": generations,
+                "portfolio_epochs": epochs,
+                "pool_size": pool_size,
+                "pool_growth": [
+                    {"seconds": round(t, 3), "pool": p} for t, p in trace[::4]
+                ],
+            }
+        )
+
+    # One shared reference across every measured front, so hypervolume
+    # numbers are comparable between solvers and deadlines.
+    stacked = np.vstack(fronts)
+    reference = reference_point(stacked)
+    again = reference_point(stacked)
+    assert again is reference, "reference_point memo did not cache"
+    assert reference_point_cache_info().hits >= 1
+
+    report = []
+    failures = []
+    for row in rows:
+        solo_hv = hypervolume(row.pop("solo_front"), reference)
+        portfolio_hv = hypervolume(row.pop("portfolio_front"), reference)
+        row["solo_hv"] = round(solo_hv, 6)
+        row["portfolio_hv"] = round(portfolio_hv, 6)
+        row["hv_ratio"] = round(
+            portfolio_hv / solo_hv if solo_hv > 0 else float("inf"), 4
+        )
+        report.append(row)
+        if portfolio_hv < HV_FLOOR_FRACTION * solo_hv:
+            failures.append(
+                f"deadline {row['deadline_ms']}ms: portfolio hv "
+                f"{portfolio_hv:.4f} < {HV_FLOOR_FRACTION} * solo "
+                f"{solo_hv:.4f}"
+            )
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "servers": servers,
+                "vms": vms,
+                "seed": 7,
+                "members": "nsga3_tabu+cp+tabu",
+                "hv_floor_fraction": HV_FLOOR_FRACTION,
+                "deadlines": report,
+                "full_size": full,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert not failures, "; ".join(failures)

@@ -27,7 +27,7 @@ paper-versus-measured comparison.
 """
 
 from repro import service, telemetry, verify
-from repro.allocator import Allocator, BatchOutcome
+from repro.allocator import Allocator, AnytimeRun, BatchOutcome
 from repro.baselines import (
     BestFitAllocator,
     FirstFitAllocator,
@@ -65,7 +65,8 @@ from repro.model import (
     Server,
     VirtualResource,
 )
-from repro.objectives import PopulationEvaluator
+from repro.objectives import EnergyCost, PopulationEvaluator
+from repro.portfolio import IncumbentPool, PortfolioAllocator
 from repro.runtime import (
     CheckpointManager,
     GracefulShutdown,
@@ -84,6 +85,7 @@ __all__ = [
     "__version__",
     # core interfaces
     "Allocator",
+    "AnytimeRun",
     "BatchOutcome",
     # model
     "AttributeSchema",
@@ -118,6 +120,10 @@ __all__ = [
     "TabuSearch",
     "solve_ilp",
     "PopulationEvaluator",
+    "EnergyCost",
+    # anytime portfolio
+    "PortfolioAllocator",
+    "IncumbentPool",
     # engine
     "CompiledProblem",
     "ProblemCache",

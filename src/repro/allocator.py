@@ -36,8 +36,9 @@ from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
 from repro.model.request import Request
 from repro.types import AlgorithmKind, BoolArray, FloatArray, IntArray
+from repro.utils.timers import Stopwatch
 
-__all__ = ["BatchOutcome", "Allocator", "per_request_rejections"]
+__all__ = ["AnytimeRun", "BatchOutcome", "Allocator", "per_request_rejections"]
 
 
 def per_request_rejections(
@@ -142,6 +143,173 @@ class BatchOutcome:
         return float(self.objectives[0])
 
 
+class AnytimeRun(abc.ABC):
+    """One in-progress solve exposing the anytime contract.
+
+    Obtained from :meth:`Allocator.start`.  The owner advances the run
+    in bounded slices with :meth:`step` and may read
+    :meth:`best_solution` / :meth:`best_front` *between any two steps*
+    — both are required to be valid (possibly trivial) at every
+    instant, which is what lets a portfolio racer or a deadline-bound
+    service interrupt the solve at an arbitrary epoch and still ship a
+    plan.  :meth:`finish` freezes the run into the same
+    :class:`BatchOutcome` the blocking :meth:`Allocator.allocate` path
+    reports, so downstream reporting is oblivious to how the solve was
+    driven.
+    """
+
+    def __init__(
+        self,
+        allocator: "Allocator",
+        infrastructure: Infrastructure,
+        merged: Request,
+        owner: IntArray,
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+        compiled: CompiledProblem | None = None,
+    ) -> None:
+        self.allocator = allocator
+        self.infrastructure = infrastructure
+        self.merged = merged
+        self.owner = owner
+        self.base_usage = base_usage
+        self.previous_assignment = previous_assignment
+        if compiled is None:
+            compiled = allocator.compile_problem(infrastructure, merged)
+        self.compiled = compiled
+        #: Objective evaluations consumed so far; implementations keep
+        #: this current so :meth:`finish` reports honestly.
+        self.evaluations = 0
+        self.stopwatch = Stopwatch().start()
+        self._outcome: BatchOutcome | None = None
+        self._front_eval = None
+
+    # -- the contract ---------------------------------------------------
+    @abc.abstractmethod
+    def step(self, budget: int = 1) -> bool:
+        """Advance by ``budget`` work units; False = nothing left to do.
+
+        A *work unit* is implementation-defined (an EA generation, a
+        block of tabu iterations, one CP sub-problem) but must be
+        bounded, so the caller controls slice length.
+        """
+
+    @abc.abstractmethod
+    def best_solution(self) -> IntArray:
+        """Current incumbent genome (UNPLACED allowed), at any instant."""
+
+    def best_front(self) -> FloatArray:
+        """(k, 3) objective rows of the current nondominated incumbents.
+
+        The default scores :meth:`best_solution` through the shared
+        compiled evaluator — a one-point front.  Population-based runs
+        override this with their true front.
+        """
+        if self._front_eval is None:
+            self._front_eval = self.compiled.evaluator(
+                base_usage=self.base_usage,
+                previous_assignment=self.previous_assignment,
+                include_assignment_constraint=True,
+                energy_weight=self.allocator.energy_weight,
+            )
+        point = self._front_eval.evaluate(self.best_solution()).as_array()
+        return point[np.newaxis, :]
+
+    def finish(self) -> BatchOutcome:
+        """Freeze the run into a :class:`BatchOutcome` (idempotent).
+
+        Does *not* drain remaining work — it reports whatever the steps
+        taken so far produced.  Callers wanting the full batch result
+        loop ``while run.step(): pass`` first.
+        """
+        if self._outcome is None:
+            self.stopwatch.stop()
+            self._outcome = self._finalize()
+        return self._outcome
+
+    def set_deadline(self, deadline: float) -> None:
+        """Absolute ``time.perf_counter()`` deadline hint (no-op here).
+
+        Implementations owning inner loops that can overshoot a step
+        budget (tabu repair rounds, CP node search) propagate this so a
+        wall-clock-bound caller is never stuck inside one slice.
+        """
+
+    def close(self) -> None:
+        """Release per-run resources (no-op here; safe to repeat)."""
+
+    # -- hooks ----------------------------------------------------------
+    def _finalize(self) -> BatchOutcome:
+        """Build the outcome; runs once, from :meth:`finish`."""
+        return self.allocator.finalize(
+            self.infrastructure,
+            self.merged,
+            self.owner,
+            self.best_solution(),
+            self.stopwatch.stop(),
+            base_usage=self.base_usage,
+            previous_assignment=self.previous_assignment,
+            evaluations=self.evaluations,
+            extra=self._extra(),
+            compiled=self.compiled,
+        )
+
+    def _extra(self) -> dict | None:
+        """Algorithm-specific diagnostics for the outcome (hook)."""
+        return None
+
+
+class _BatchStepRun(AnytimeRun):
+    """Degenerate anytime run: the whole solve is one step.
+
+    Wraps any blocking :meth:`Allocator.allocate` implementation —
+    greedy and round-robin baselines finish in microseconds, so slicing
+    them buys nothing.  Before the first step the incumbent is the
+    everything-unplaced genome (a valid, maximally-rejecting plan).
+    """
+
+    def __init__(
+        self,
+        allocator: "Allocator",
+        infrastructure: Infrastructure,
+        requests: Sequence[Request],
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+    ) -> None:
+        merged, owner = Allocator.merge_requests(requests)
+        super().__init__(
+            allocator,
+            infrastructure,
+            merged,
+            owner,
+            base_usage=base_usage,
+            previous_assignment=previous_assignment,
+        )
+        self._requests = list(requests)
+
+    def step(self, budget: int = 1) -> bool:
+        if self._outcome is None:
+            self.stopwatch.stop()
+            self._outcome = self.allocator.allocate(
+                self.infrastructure,
+                self._requests,
+                base_usage=self.base_usage,
+                previous_assignment=self.previous_assignment,
+            )
+            self.evaluations = self._outcome.evaluations
+        return False
+
+    def best_solution(self) -> IntArray:
+        if self._outcome is None:
+            return np.full(self.merged.n, UNPLACED, dtype=np.int64)
+        return self._outcome.assignment
+
+    def finish(self) -> BatchOutcome:
+        if self._outcome is None:
+            self.step()
+        return self._outcome
+
+
 class Allocator(abc.ABC):
     """Base class every compared algorithm implements."""
 
@@ -167,6 +335,11 @@ class Allocator(abc.ABC):
     #: window index.  Non-EA allocators ignore it: their solves are
     #: single-pass and cheap to redo.
     checkpoint_manager: CheckpointManager | None = None
+    #: Weight of the optional energy term folded into the provider-cost
+    #: objective (column 0).  0.0 — the default everywhere — keeps the
+    #: evaluation stack byte-identical to the paper's three-objective
+    #: formulation; EA allocators override from ``NSGAConfig``.
+    energy_weight: float = 0.0
 
     @abc.abstractmethod
     def allocate(
@@ -177,6 +350,28 @@ class Allocator(abc.ABC):
         previous_assignment: IntArray | None = None,
     ) -> BatchOutcome:
         """Place one window of requests and report uniformly."""
+
+    def start(
+        self,
+        infrastructure: Infrastructure,
+        requests: Sequence[Request],
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+    ) -> AnytimeRun:
+        """Begin an anytime solve of one window.
+
+        The default wraps :meth:`allocate` in a single-step run, which
+        is exactly right for the sub-millisecond greedy baselines.
+        Iterative allocators override this with genuinely incremental
+        runs (generation-, iteration- or subproblem-granular).
+        """
+        return _BatchStepRun(
+            self,
+            infrastructure,
+            requests,
+            base_usage=base_usage,
+            previous_assignment=previous_assignment,
+        )
 
     def runtime_state(self) -> dict | None:
         """JSON-able cross-call state, for scheduler checkpoints.
@@ -248,6 +443,7 @@ class Allocator(abc.ABC):
             base_usage=base_usage,
             previous_assignment=previous_assignment,
             include_assignment_constraint=True,
+            energy_weight=self.energy_weight,
         )
         assignment = np.asarray(assignment, dtype=np.int64)
         objectives = evaluator.evaluate(assignment).as_array()

@@ -57,7 +57,11 @@ _INTERRUPTED_MSG = (
 )
 
 
-def _factories(args, include_cp_hybrid: bool = False) -> dict[str, Callable]:
+def _factories(
+    args,
+    include_cp_hybrid: bool = False,
+    include_portfolio: bool = False,
+) -> dict[str, Callable]:
     config = NSGAConfig(
         population_size=args.population,
         max_evaluations=args.evaluations,
@@ -65,6 +69,7 @@ def _factories(args, include_cp_hybrid: bool = False) -> dict[str, Callable]:
         n_workers=getattr(args, "workers", 0),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         checkpoint_every=getattr(args, "checkpoint_every", None),
+        energy_weight=getattr(args, "energy_weight", 0.0),
     )
     factories: dict[str, Callable] = {
         "round_robin": lambda: RoundRobinAllocator(),
@@ -78,6 +83,14 @@ def _factories(args, include_cp_hybrid: bool = False) -> dict[str, Callable]:
     if include_cp_hybrid:
         factories["nsga3_cp"] = lambda: NSGA3CPAllocator(
             config, repair_limits=SearchLimits(max_nodes=500, time_limit=0.1)
+        )
+    if include_portfolio:
+        from repro.portfolio import PortfolioAllocator
+
+        factories["portfolio"] = lambda: PortfolioAllocator(
+            config=config,
+            members=getattr(args, "members", None) or "nsga3_tabu+cp+tabu",
+            deadline_ms=getattr(args, "deadline_ms", None),
         )
     return factories
 
@@ -222,9 +235,25 @@ def cmd_compare(args) -> int:
         tightness=args.tightness,
     )
     scenario = ScenarioGenerator(spec, seed=args.seed).generate()
+    factories = _factories(args, include_cp_hybrid=True, include_portfolio=True)
+    if args.allocator is not None:
+        if args.allocator not in factories:
+            print(
+                f"error: unknown allocator {args.allocator!r}; "
+                f"pick from {', '.join(sorted(factories))}",
+                file=sys.stderr,
+            )
+            return 2
+        factories = {args.allocator: factories[args.allocator]}
     rows = []
-    for label, factory in _factories(args, include_cp_hybrid=True).items():
-        outcome = factory().allocate(scenario.infrastructure, scenario.requests)
+    for label, factory in factories.items():
+        allocator = factory()
+        try:
+            outcome = allocator.allocate(
+                scenario.infrastructure, scenario.requests
+            )
+        finally:
+            allocator.close()
         rows.append(
             [
                 label,
@@ -311,16 +340,37 @@ def cmd_verify(args) -> int:
         run_fuzz,
     )
 
+    fuzz_kwargs = {}
+    if args.allocator is not None:
+        factories = _factories(
+            args, include_cp_hybrid=True, include_portfolio=True
+        )
+        if args.allocator not in factories:
+            print(
+                f"error: unknown allocator {args.allocator!r}; "
+                f"pick from {', '.join(sorted(factories))}",
+                file=sys.stderr,
+            )
+            return 2
+        fuzz_kwargs["allocator_factory"] = factories[args.allocator]
     config = FuzzConfig(
         scenarios=args.fuzz,
         seed=args.seed,
         sizes=args.sizes,
         walk_detours=args.walk_detours,
         perturb=args.perturb,
+        **fuzz_kwargs,
     )
     report = run_fuzz(config)
     print(report.format())
     ok = report.ok
+    if args.check_anytime:
+        from repro.verify import check_anytime_conformance
+
+        anytime_report = check_anytime_conformance(seed=args.seed)
+        print()
+        print(anytime_report.format())
+        ok = ok and anytime_report.ok
     if args.check_parallel is not None:
         parallel_report = check_parallel_determinism(
             args.check_parallel, seed=args.seed
@@ -396,6 +446,8 @@ def cmd_serve(args) -> int:
         population=args.population,
         evaluations=args.evaluations,
         workers=args.workers,
+        members=args.members or "nsga3_tabu+cp+tabu",
+        deadline_ms=args.deadline_ms,
         scenario=args.scenario,
         resume=args.resume,
     )
@@ -446,6 +498,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-cp-hybrid",
         action="store_true",
         help="include the slow nsga3_cp hybrid in sweeps",
+    )
+    common.add_argument(
+        "--energy-weight",
+        type=float,
+        default=0.0,
+        metavar="W",
+        help="fold a datacenter energy-cost term into the provider "
+        "objective with this weight (0 = off, the default; "
+        "docs/PORTFOLIO.md)",
+    )
+    common.add_argument(
+        "--members",
+        default=None,
+        metavar="SPEC",
+        help="portfolio member spec, '+'-joined (default "
+        "nsga3_tabu+cp+tabu; used by --allocator portfolio and "
+        "`repro serve`; docs/PORTFOLIO.md)",
+    )
+    common.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock budget for portfolio solves: the race ships "
+        "its best pooled incumbent when the clock expires "
+        "(default none = run every member to its own budget; "
+        "docs/PORTFOLIO.md)",
     )
     common.add_argument(
         "--telemetry",
@@ -544,6 +623,30 @@ def build_parser() -> argparse.ArgumentParser:
                 "allocation service: bare flag replays a synthetic "
                 "in-process session, DIR replays the admission log of "
                 "a `repro serve` checkpoint directory (docs/SERVICE.md)",
+            )
+            p.add_argument(
+                "--check-anytime",
+                action="store_true",
+                help="also prove the anytime portfolio contract: "
+                "monotone pooled front, allocate ≡ stepwise parity, "
+                "seed determinism and the reoptimizer's portfolio "
+                "wiring (docs/PORTFOLIO.md)",
+            )
+            p.add_argument(
+                "--allocator",
+                default=None,
+                metavar="NAME",
+                help="route the fuzz scenarios' invariant/metamorphic "
+                "layers through this allocator (e.g. portfolio) "
+                "instead of round robin",
+            )
+        if name == "compare":
+            p.add_argument(
+                "--allocator",
+                default=None,
+                metavar="NAME",
+                help="run only this allocator (e.g. portfolio) instead "
+                "of the whole lineup",
             )
         if name == "fig8":
             p.add_argument(

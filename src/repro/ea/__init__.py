@@ -27,7 +27,7 @@ from repro.ea.constraint_handling import (
     PenaltyHandling,
     RepairHandling,
 )
-from repro.ea.hypervolume import hypervolume
+from repro.ea.hypervolume import hypervolume, reference_point
 from repro.ea.archive import ParetoArchive
 
 __all__ = [
@@ -51,5 +51,6 @@ __all__ = [
     "PenaltyHandling",
     "RepairHandling",
     "hypervolume",
+    "reference_point",
     "ParetoArchive",
 ]

@@ -80,6 +80,12 @@ class NSGAConfig:
     checkpoint_every:
         Generations between snapshots (default 10 when
         ``checkpoint_dir`` is set).
+    energy_weight:
+        Weight of the optional energy term folded into the provider
+        cost objective (see :mod:`repro.objectives.energy`).  0.0 — the
+        default — reproduces the paper's three-objective formulation
+        byte for byte.  Non-zero weights change the search trajectory,
+        so the value participates in checkpoint trajectory keys.
     """
 
     population_size: int = 100
@@ -98,6 +104,7 @@ class NSGAConfig:
     parallel_eval_min_pop: int | None = None
     checkpoint_dir: str | None = None
     checkpoint_every: int | None = None
+    energy_weight: float = 0.0
 
     def __post_init__(self) -> None:
         if self.population_size < 4:
@@ -136,6 +143,10 @@ class NSGAConfig:
             raise ValidationError("parallel_eval_min_pop must be >= 1 when set")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValidationError("checkpoint_every must be >= 1 when set")
+        if self.energy_weight < 0:
+            raise ValidationError(
+                f"energy_weight must be >= 0, got {self.energy_weight}"
+            )
 
     def with_(self, **changes) -> "NSGAConfig":
         """Functional update (frozen dataclass convenience)."""

@@ -8,13 +8,49 @@ operator-ablation bench reports it.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.types import FloatArray
 from repro.utils.pareto import non_dominated_mask
 
-__all__ = ["hypervolume"]
+__all__ = ["hypervolume", "reference_point", "reference_point_cache_info"]
+
+
+@lru_cache(maxsize=256)
+def _reference_from_bytes(
+    shape: tuple[int, int], blob: bytes, margin: float
+) -> FloatArray:
+    objs = np.frombuffer(blob, dtype=np.float64).reshape(shape)
+    reference = objs.max(axis=0) + margin
+    reference.flags.writeable = False
+    return reference
+
+
+def reference_point(objectives: FloatArray, margin: float = 1.0) -> FloatArray:
+    """Nadir-plus-margin reference point, ``objectives.max(axis=0) + margin``.
+
+    Memoized on the point set's (shape, bytes, margin) identity: anytime
+    callers recompute hypervolume against the *same* front every epoch
+    (monotonicity checks, the portfolio's exchange telemetry), and the
+    repeated ``max`` reductions show up in profiles.  The returned array
+    is the cached object, marked read-only — copy before mutating.
+    """
+    objs = np.ascontiguousarray(objectives, dtype=np.float64)
+    if objs.ndim == 1:
+        objs = objs[np.newaxis, :]
+    if objs.ndim != 2 or objs.shape[0] == 0:
+        raise ValidationError(
+            f"objectives must be a non-empty 2-D array, got shape {objs.shape}"
+        )
+    return _reference_from_bytes(objs.shape, objs.tobytes(), float(margin))
+
+
+def reference_point_cache_info():
+    """The memo's ``lru_cache`` statistics (hits/misses/currsize)."""
+    return _reference_from_bytes.cache_info()
 
 
 def hypervolume(objectives: FloatArray, reference: FloatArray) -> float:

@@ -36,7 +36,399 @@ from repro.utils.timers import Stopwatch
 #: without an explicit ``checkpoint_every``.
 DEFAULT_CHECKPOINT_EVERY = 10
 
-__all__ = ["NSGABase"]
+__all__ = ["EngineRun", "NSGABase"]
+
+
+class EngineRun:
+    """One in-progress NSGA run, advanced generation by generation.
+
+    Created by :meth:`NSGABase.start_run`.  Owns every piece of loop
+    state the old monolithic ``run()`` kept in locals — population,
+    RNG, stall counter, stopwatch, checkpoint bookkeeping — and exposes
+    the anytime surface the portfolio racer needs: :meth:`step`,
+    :meth:`best_genome` / :meth:`front` between any two steps, a
+    deterministic :meth:`inject` for incumbent exchange, and
+    :meth:`checkpoint_record` for composite snapshots.  Driving a run
+    with ``while run.step(): pass`` then :meth:`result` is
+    byte-identical to the blocking :meth:`NSGABase.run`, which now does
+    exactly that.
+    """
+
+    def __init__(
+        self,
+        engine: "NSGABase",
+        evaluator: PopulationEvaluator,
+        initial_genomes: IntArray | None = None,
+        *,
+        checkpoint_manager: CheckpointManager | None = None,
+        fingerprint: str = "",
+        resume_from: RunCheckpoint | None = None,
+    ) -> None:
+        self.engine = engine
+        self.evaluator = evaluator
+        cfg = engine.config
+        self.rng = np.random.default_rng(cfg.seed)
+        self.n = evaluator.request.n
+        self.m = evaluator.infrastructure.m
+
+        manager = checkpoint_manager
+        if manager is None and cfg.checkpoint_dir is not None:
+            manager = CheckpointManager(cfg.checkpoint_dir)
+        self.manager = manager
+        self.checkpoint_every = cfg.checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+        self.fingerprint = fingerprint
+        # The handler tag keeps algorithms sharing an engine (plain
+        # NSGA-III vs the tabu/CP hybrids) from colliding in a shared
+        # campaign directory.
+        self.config_key = trajectory_key(
+            cfg, f"{engine.algorithm_name}/{engine.handler.trajectory_tag()}"
+        )
+        if resume_from is None and manager is not None:
+            resume_from = manager.latest(fingerprint, self.config_key)
+
+        # Resolved once per run: with the default no-op bus the per-
+        # generation telemetry below is a single boolean check.
+        self._bus = get_bus()
+        self._registry = get_registry()
+
+        self.history: list[GenerationStats] = []
+        self.resumed_from: int | None = None
+        self.interrupted = False
+        self._result: EvolutionResult | None = None
+        self._exhausted = False
+
+        if resume_from is not None:
+            ckpt = engine._validate_checkpoint(
+                resume_from, self.config_key, fingerprint, self.n
+            )
+            self.population = Population(
+                ckpt.genomes.copy(), ckpt.objectives.copy(), ckpt.violations.copy()
+            )
+            self.rng.bit_generator.state = ckpt.rng_state
+            self.generation = ckpt.generation
+            self.evaluations = ckpt.evaluations
+            self.stalled = ckpt.stalled
+            self.best_seen = (ckpt.best_violations, ckpt.best_aggregate)
+            engine.handler.restore_runtime_state(ckpt.repair_state)
+            if engine.track_history:
+                self.history = [GenerationStats(**h) for h in ckpt.history]
+            self.resumed_from = ckpt.generation
+            self.stopwatch = Stopwatch(elapsed=ckpt.elapsed).start()
+            self._registry.count(
+                "runtime.resume.runs", algorithm=engine.algorithm_name
+            )
+            if cfg.time_limit is not None:
+                engine.handler.set_deadline(
+                    time.perf_counter() + cfg.time_limit - ckpt.elapsed
+                )
+        else:
+            self.stopwatch = Stopwatch().start()
+            if cfg.time_limit is not None:
+                engine.handler.set_deadline(time.perf_counter() + cfg.time_limit)
+            self.evaluations = 0
+
+            genomes = random_population(
+                cfg.population_size, self.n, self.m, seed=self.rng
+            )
+            if initial_genomes is not None:
+                seeds = np.asarray(initial_genomes, dtype=np.int64)
+                if seeds.ndim == 1:
+                    seeds = seeds[None, :]
+                if seeds.shape[1] != self.n:
+                    raise ValueError(
+                        f"initial genomes have length {seeds.shape[1]}, "
+                        f"instance needs {self.n}"
+                    )
+                count = min(seeds.shape[0], cfg.population_size)
+                genomes[:count] = seeds[:count]
+            genomes = engine.handler.prepare(genomes)
+            result = evaluator.evaluate_population(genomes)
+            self.evaluations += cfg.population_size
+            self.population = Population(
+                genomes, result.objectives, result.violations
+            )
+
+            self.generation = 0
+            if engine.track_history:
+                self.history.append(
+                    engine._stats(self.generation, self.evaluations, self.population)
+                )
+            if self._bus.enabled:
+                self._bus.emit(
+                    engine._generation_event(
+                        self.generation, self.evaluations, self.population
+                    )
+                )
+
+            self.best_seen = self._incumbent(self.population)
+            self.stalled = 0
+
+        self._last_saved = (
+            self.resumed_from if self.resumed_from is not None else -1
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _incumbent(pop: Population) -> tuple[int, float]:
+        """(violations, aggregate) of the current single-solution pick —
+        the quantity the stall detector watches."""
+        idx = pop.best_feasible_index()
+        if idx is None:
+            idx = pop.least_violating_index()
+        return int(pop.violations[idx]), float(pop.objectives[idx].sum())
+
+    def _stop_reason(self) -> str | None:
+        """Why the loop may not advance further, in the loop's own
+        check order (budget, wall clock, stall) — ``None`` = keep going."""
+        cfg = self.engine.config
+        if self.evaluations + cfg.population_size > cfg.max_evaluations:
+            return "budget"
+        if cfg.time_limit is not None and self.stopwatch.elapsed >= cfg.time_limit:
+            return "time"
+        if (
+            cfg.stall_generations is not None
+            and self.stalled >= cfg.stall_generations
+        ):
+            return "stall"
+        return None
+
+    def _snapshot(self) -> None:
+        if self.generation == self._last_saved:
+            return
+        self.manager.save(
+            self.engine._build_checkpoint(
+                fingerprint=self.fingerprint,
+                config_key=self.config_key,
+                generation=self.generation,
+                evaluations=self.evaluations,
+                elapsed=self.stopwatch.elapsed,
+                population=self.population,
+                rng=self.rng,
+                stalled=self.stalled,
+                best_seen=self.best_seen,
+                history=self.history,
+            )
+        )
+        self._last_saved = self.generation
+
+    def _advance(self) -> None:
+        """Exactly one generation — the body of the old ``run()`` loop."""
+        engine = self.engine
+        cfg = engine.config
+        self.generation += 1
+
+        with span(
+            f"{engine.algorithm_name}.generation", generation=self.generation
+        ):
+            eff = engine.handler.effective_objectives(
+                self.population.objectives, self.population.violations
+            )
+            parent_idx = engine._select_parents(self.population, eff, self.rng)
+            parents = self.population.genomes[parent_idx]
+
+            if cfg.repair_parents:
+                # Fig. 4: parents violating user constraints are
+                # treated by the repair before they reproduce.
+                parents = engine.handler.prepare(parents)
+
+            offspring = engine._variation(parents, self.m, self.rng)
+            # "The repair process is launched whenever invalid
+            # individuals are assessed" — repair before evaluation.
+            offspring = engine.handler.prepare(offspring)
+
+            off_result = self.evaluator.evaluate_population(offspring)
+            self.evaluations += offspring.shape[0]
+            off_pop = Population(
+                offspring, off_result.objectives, off_result.violations
+            )
+
+            merged = Population.concatenate(self.population, off_pop)
+            survivors = engine._environmental_selection(
+                merged, cfg.population_size, self.rng
+            )
+            self.population = merged.take(survivors)
+
+        if self._bus.enabled:
+            self._bus.emit(
+                engine._generation_event(
+                    self.generation, self.evaluations, self.population
+                )
+            )
+
+        current = self._incumbent(self.population)
+        if current < self.best_seen:
+            self.best_seen = current
+            self.stalled = 0
+        else:
+            self.stalled += 1
+
+        if engine.track_history:
+            self.history.append(
+                engine._stats(self.generation, self.evaluations, self.population)
+            )
+
+        if self.manager is not None and self.generation % self.checkpoint_every == 0:
+            self._snapshot()
+
+    # ------------------------------------------------------------------
+    # Anytime surface
+    # ------------------------------------------------------------------
+    def step(self, generations: int = 1) -> bool:
+        """Advance up to ``generations``; False = the run is over.
+
+        Preserves the blocking loop's exact check order: budget, then
+        wall clock, then stall, then cooperative shutdown (which
+        snapshots the boundary before unwinding) — so interleaving
+        steps with reads cannot change the trajectory.
+        """
+        if self._exhausted:
+            return False
+        for _ in range(int(generations)):
+            if self._stop_reason() is not None:
+                self._exhausted = True
+                return False
+            if self.manager is not None and shutdown_requested():
+                # Graceful flush: persist the boundary we stand on and
+                # unwind; the next start auto-resumes from here.
+                self._snapshot()
+                self.interrupted = True
+                self._exhausted = True
+                return False
+            self._advance()
+        return self._stop_reason() is None
+
+    def best_genome(self) -> IntArray:
+        """Current single-solution pick (feasible-nearest-ideal, else
+        least violating) — valid between any two steps."""
+        pop = self.population
+        idx = pop.best_feasible_index()
+        if idx is None:
+            idx = pop.least_violating_index()
+        return pop.genomes[idx].copy()
+
+    def front(self) -> tuple[IntArray, FloatArray]:
+        """(genomes, objectives) of the feasible nondominated set.
+
+        Empty arrays when nothing is feasible yet — the incumbent pool
+        only trades in proven placements.
+        """
+        from repro.utils.pareto import pareto_front_indices
+
+        pop = self.population
+        feasible = np.flatnonzero(pop.feasible_mask)
+        if not feasible.size:
+            return (
+                np.empty((0, self.n), dtype=np.int64),
+                np.empty((0, pop.objectives.shape[1])),
+            )
+        front_local = pareto_front_indices(pop.objectives[feasible])
+        picked = feasible[front_local]
+        return pop.genomes[picked].copy(), pop.objectives[picked].copy()
+
+    def inject(
+        self,
+        genomes: IntArray,
+        objectives: FloatArray,
+        violations: IntArray,
+    ) -> int:
+        """Replace the worst population rows with pooled incumbents.
+
+        Deterministic by construction — victims are picked by lexsort
+        on (violations, aggregate) from the worst end, rows already
+        present byte-for-byte are skipped, and no RNG is consumed — so
+        exchange epochs at fixed boundaries keep whole-portfolio runs
+        byte-reproducible per seed.  The pooled rows carry their own
+        objectives/violations, so injection costs zero evaluations.
+        Returns the number of rows actually replaced.
+        """
+        genomes = np.asarray(genomes, dtype=np.int64)
+        if genomes.size == 0:
+            return 0
+        if genomes.ndim == 1:
+            genomes = genomes[None, :]
+        objectives = np.asarray(objectives, dtype=np.float64)
+        if objectives.ndim == 1:
+            objectives = objectives[None, :]
+        violations = np.atleast_1d(np.asarray(violations, dtype=np.int64))
+
+        pop = self.population
+        # Worst-first victim order: most violating, ties by aggregate.
+        order = np.lexsort(
+            (pop.objectives.sum(axis=1), pop.violations)
+        )[::-1]
+        existing = {row.tobytes() for row in pop.genomes}
+        new_genomes = pop.genomes.copy()
+        new_objectives = pop.objectives.copy()
+        new_violations = pop.violations.copy()
+        replaced = 0
+        for row, objs, viol in zip(genomes, objectives, violations):
+            key = row.tobytes()
+            if key in existing:
+                continue
+            if replaced >= order.size:
+                break
+            victim = int(order[replaced])
+            new_genomes[victim] = row
+            new_objectives[victim] = objs
+            new_violations[victim] = int(viol)
+            existing.add(key)
+            replaced += 1
+        if replaced:
+            self.population = Population(
+                new_genomes, new_objectives, new_violations
+            )
+        return replaced
+
+    def set_deadline(self, deadline: float) -> None:
+        """Propagate an absolute perf-counter deadline to inner loops."""
+        self.engine.handler.set_deadline(deadline)
+
+    def checkpoint_record(self) -> RunCheckpoint:
+        """The run's current boundary state as a :class:`RunCheckpoint`
+        (no manager required) — composite portfolio snapshots embed it."""
+        return self.engine._build_checkpoint(
+            fingerprint=self.fingerprint,
+            config_key=self.config_key,
+            generation=self.generation,
+            evaluations=self.evaluations,
+            elapsed=self.stopwatch.elapsed,
+            population=self.population,
+            rng=self.rng,
+            stalled=self.stalled,
+            best_seen=self.best_seen,
+            history=self.history,
+        )
+
+    def result(self) -> EvolutionResult:
+        """Freeze the run into an :class:`EvolutionResult` (idempotent)."""
+        if self._result is None:
+            self._exhausted = True
+            self.stopwatch.stop()
+            self._registry.count(
+                "nsga.generations",
+                self.generation,
+                algorithm=self.engine.algorithm_name,
+            )
+            self._registry.count(
+                "nsga.evaluations",
+                self.evaluations,
+                algorithm=self.engine.algorithm_name,
+            )
+            self._registry.observe(
+                "nsga.run_seconds",
+                self.stopwatch.elapsed,
+                algorithm=self.engine.algorithm_name,
+            )
+            self._result = EvolutionResult(
+                population=self.population,
+                evaluations=self.evaluations,
+                elapsed=self.stopwatch.elapsed,
+                history=self.history,
+                algorithm=self.engine.algorithm_name,
+                resumed_from=self.resumed_from,
+                interrupted=self.interrupted,
+            )
+        return self._result
 
 
 class NSGABase(abc.ABC):
@@ -216,200 +608,40 @@ class NSGABase(abc.ABC):
             with this run raises
             :class:`~repro.errors.CheckpointError`.
         """
-        cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        n = evaluator.request.n
-        m = evaluator.infrastructure.m
-
-        manager = checkpoint_manager
-        if manager is None and cfg.checkpoint_dir is not None:
-            manager = CheckpointManager(cfg.checkpoint_dir)
-        checkpoint_every = cfg.checkpoint_every or DEFAULT_CHECKPOINT_EVERY
-        # The handler tag keeps algorithms sharing an engine (plain
-        # NSGA-III vs the tabu/CP hybrids) from colliding in a shared
-        # campaign directory.
-        config_key = trajectory_key(
-            cfg, f"{self.algorithm_name}/{self.handler.trajectory_tag()}"
+        run = self.start_run(
+            evaluator,
+            initial_genomes,
+            checkpoint_manager=checkpoint_manager,
+            fingerprint=fingerprint,
+            resume_from=resume_from,
         )
-        if resume_from is None and manager is not None:
-            resume_from = manager.latest(fingerprint, config_key)
+        while run.step():
+            pass
+        return run.result()
 
-        # Resolved once per run: with the default no-op bus the per-
-        # generation telemetry below is a single boolean check.
-        bus = get_bus()
-        registry = get_registry()
+    def start_run(
+        self,
+        evaluator: PopulationEvaluator,
+        initial_genomes: IntArray | None = None,
+        *,
+        checkpoint_manager: CheckpointManager | None = None,
+        fingerprint: str = "",
+        resume_from: RunCheckpoint | None = None,
+    ) -> EngineRun:
+        """Begin a stepwise run; see :class:`EngineRun`.
 
-        def _incumbent(pop: Population) -> tuple[int, float]:
-            """(violations, aggregate) of the current single-solution
-            pick — the quantity the stall detector watches."""
-            idx = pop.best_feasible_index()
-            if idx is None:
-                idx = pop.least_violating_index()
-            return int(pop.violations[idx]), float(pop.objectives[idx].sum())
-
-        history: list[GenerationStats] = []
-        resumed_from: int | None = None
-
-        if resume_from is not None:
-            ckpt = self._validate_checkpoint(resume_from, config_key, fingerprint, n)
-            population = Population(
-                ckpt.genomes.copy(), ckpt.objectives.copy(), ckpt.violations.copy()
-            )
-            rng.bit_generator.state = ckpt.rng_state
-            generation = ckpt.generation
-            evaluations = ckpt.evaluations
-            stalled = ckpt.stalled
-            best_seen = (ckpt.best_violations, ckpt.best_aggregate)
-            self.handler.restore_runtime_state(ckpt.repair_state)
-            if self.track_history:
-                history = [GenerationStats(**h) for h in ckpt.history]
-            resumed_from = ckpt.generation
-            stopwatch = Stopwatch(elapsed=ckpt.elapsed).start()
-            registry.count("runtime.resume.runs", algorithm=self.algorithm_name)
-            if cfg.time_limit is not None:
-                self.handler.set_deadline(
-                    time.perf_counter() + cfg.time_limit - ckpt.elapsed
-                )
-        else:
-            stopwatch = Stopwatch().start()
-            if cfg.time_limit is not None:
-                self.handler.set_deadline(time.perf_counter() + cfg.time_limit)
-            evaluations = 0
-
-            genomes = random_population(cfg.population_size, n, m, seed=rng)
-            if initial_genomes is not None:
-                seeds = np.asarray(initial_genomes, dtype=np.int64)
-                if seeds.ndim == 1:
-                    seeds = seeds[None, :]
-                if seeds.shape[1] != n:
-                    raise ValueError(
-                        f"initial genomes have length {seeds.shape[1]}, "
-                        f"instance needs {n}"
-                    )
-                count = min(seeds.shape[0], cfg.population_size)
-                genomes[:count] = seeds[:count]
-            genomes = self.handler.prepare(genomes)
-            result = evaluator.evaluate_population(genomes)
-            evaluations += cfg.population_size
-            population = Population(genomes, result.objectives, result.violations)
-
-            generation = 0
-            if self.track_history:
-                history.append(self._stats(generation, evaluations, population))
-            if bus.enabled:
-                bus.emit(
-                    self._generation_event(generation, evaluations, population)
-                )
-
-            best_seen = _incumbent(population)
-            stalled = 0
-
-        interrupted = False
-        last_saved = resumed_from if resumed_from is not None else -1
-
-        def _snapshot() -> None:
-            nonlocal last_saved
-            if generation == last_saved:
-                return
-            manager.save(
-                self._build_checkpoint(
-                    fingerprint=fingerprint,
-                    config_key=config_key,
-                    generation=generation,
-                    evaluations=evaluations,
-                    elapsed=stopwatch.elapsed,
-                    population=population,
-                    rng=rng,
-                    stalled=stalled,
-                    best_seen=best_seen,
-                    history=history,
-                )
-            )
-            last_saved = generation
-
-        while evaluations + cfg.population_size <= cfg.max_evaluations:
-            if cfg.time_limit is not None and stopwatch.elapsed >= cfg.time_limit:
-                break
-            if (
-                cfg.stall_generations is not None
-                and stalled >= cfg.stall_generations
-            ):
-                break
-            if manager is not None and shutdown_requested():
-                # Graceful flush: persist the boundary we stand on and
-                # unwind; the next start auto-resumes from here.
-                _snapshot()
-                interrupted = True
-                break
-            generation += 1
-
-            with span(
-                f"{self.algorithm_name}.generation", generation=generation
-            ):
-                eff = self.handler.effective_objectives(
-                    population.objectives, population.violations
-                )
-                parent_idx = self._select_parents(population, eff, rng)
-                parents = population.genomes[parent_idx]
-
-                if cfg.repair_parents:
-                    # Fig. 4: parents violating user constraints are
-                    # treated by the repair before they reproduce.
-                    parents = self.handler.prepare(parents)
-
-                offspring = self._variation(parents, m, rng)
-                # "The repair process is launched whenever invalid
-                # individuals are assessed" — repair before evaluation.
-                offspring = self.handler.prepare(offspring)
-
-                off_result = evaluator.evaluate_population(offspring)
-                evaluations += offspring.shape[0]
-                off_pop = Population(
-                    offspring, off_result.objectives, off_result.violations
-                )
-
-                merged = Population.concatenate(population, off_pop)
-                survivors = self._environmental_selection(
-                    merged, cfg.population_size, rng
-                )
-                population = merged.take(survivors)
-
-            if bus.enabled:
-                bus.emit(
-                    self._generation_event(generation, evaluations, population)
-                )
-
-            current = _incumbent(population)
-            if current < best_seen:
-                best_seen = current
-                stalled = 0
-            else:
-                stalled += 1
-
-            if self.track_history:
-                history.append(self._stats(generation, evaluations, population))
-
-            if manager is not None and generation % checkpoint_every == 0:
-                _snapshot()
-
-        stopwatch.stop()
-        registry.count(
-            "nsga.generations", generation, algorithm=self.algorithm_name
-        )
-        registry.count(
-            "nsga.evaluations", evaluations, algorithm=self.algorithm_name
-        )
-        registry.observe(
-            "nsga.run_seconds", stopwatch.elapsed, algorithm=self.algorithm_name
-        )
-        return EvolutionResult(
-            population=population,
-            evaluations=evaluations,
-            elapsed=stopwatch.elapsed,
-            history=history,
-            algorithm=self.algorithm_name,
-            resumed_from=resumed_from,
-            interrupted=interrupted,
+        Takes the same arguments as :meth:`run` — initialization (or
+        checkpoint resume) happens here, including the evaluation of
+        generation 0, so :meth:`EngineRun.best_genome` is meaningful
+        before the first :meth:`EngineRun.step`.
+        """
+        return EngineRun(
+            self,
+            evaluator,
+            initial_genomes,
+            checkpoint_manager=checkpoint_manager,
+            fingerprint=fingerprint,
+            resume_from=resume_from,
         )
 
     # ------------------------------------------------------------------

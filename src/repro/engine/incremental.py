@@ -167,6 +167,8 @@ class _Delta:
         "server_penalty",
         "downtime_total",
         "migration_total",
+        "server_energy",
+        "energy_total",
     )
 
 
@@ -198,6 +200,7 @@ class IncrementalEvaluator:
         per_server_operating: bool = False,
         include_assignment: bool = False,
         qos_strict: bool = False,
+        energy_weight: float = 0.0,
     ) -> None:
         if downtime_mode not in _DOWNTIME_MODES:
             raise ValidationError(
@@ -208,6 +211,7 @@ class IncrementalEvaluator:
         self.per_server_operating = bool(per_server_operating)
         self.include_assignment = bool(include_assignment)
         self.qos_strict = bool(qos_strict)
+        self.energy_weight = float(energy_weight)
 
         infra = compiled.infrastructure
         m, h = compiled.m, compiled.h
@@ -265,6 +269,27 @@ class IncrementalEvaluator:
         self._cu_list = np.asarray(
             compiled.downtime_charge, dtype=np.float64
         ).tolist()
+
+        # Optional energy term (weight 0 keeps every path untouched).
+        if self.energy_weight > 0.0:
+            capacity = np.asarray(compiled.effective_capacity, dtype=np.float64)
+            # Same degenerate-cell handling as EnergyCost: zero-capacity
+            # attributes contribute load 0.
+            self._energy_invcap = np.where(
+                capacity > 0, 1.0 / np.where(capacity > 0, capacity, 1.0), 0.0
+            )
+            self._invcap_list = self._energy_invcap.tolist()
+            self._idle_list = np.asarray(
+                compiled.idle_power, dtype=np.float64
+            ).tolist()
+            self._dyn_list = np.asarray(
+                compiled.dynamic_power, dtype=np.float64
+            ).tolist()
+        else:
+            self._energy_invcap = None
+            self._invcap_list = None
+            self._idle_list = None
+            self._dyn_list = None
 
         # Move-scoring telemetry is batched locally (the registry lock
         # would dominate the µs-scale hot path) — see flush_telemetry().
@@ -345,6 +370,21 @@ class IncrementalEvaluator:
             moved = (self.assignment != prev) & (prev != UNPLACED)
             self._migration_total = float(compiled.migration_charge[moved].sum())
 
+        # Energy (optional): price every active server once, vectorized.
+        if self.energy_weight > 0.0:
+            active = np.zeros(m, dtype=bool)
+            active[placed] = True
+            load = ((self._usage + self._base) * self._energy_invcap).mean(axis=1)
+            self._server_energy = np.where(
+                active,
+                compiled.idle_power + compiled.dynamic_power * load,
+                0.0,
+            )
+            self._energy_total = float(self._server_energy.sum())
+        else:
+            self._server_energy = None
+            self._energy_total = 0.0
+
     # ------------------------------------------------------------------
     # Current totals
     # ------------------------------------------------------------------
@@ -359,8 +399,11 @@ class IncrementalEvaluator:
     @property
     def objectives(self) -> FloatArray:
         """(3,) objective vector of the current assignment."""
+        provider = self._usage_cost_total
+        if self.energy_weight > 0.0:
+            provider += self.energy_weight * self._energy_total
         return np.array(
-            [self._usage_cost_total, self._downtime_total, self._migration_total]
+            [provider, self._downtime_total, self._migration_total]
         )
 
     def aggregate(self, weights: FloatArray | None = None) -> float:
@@ -449,6 +492,20 @@ class IncrementalEvaluator:
                     total += cu[k] * shortfall
         return total
 
+    def _server_energy_value(
+        self, server: int, row_list: list[float], residents: set[int]
+    ) -> float:
+        """Scalar linear-power price of one server row (0 when empty)."""
+        if not residents:
+            return 0.0
+        inv = self._invcap_list[server]
+        base = self._base_list[server]
+        total = 0.0
+        for a, u in enumerate(row_list):
+            total += (u + base[a]) * inv[a]
+        load = total / len(row_list)
+        return self._idle_list[server] + self._dyn_list[server] * load
+
     def _migration_contrib(self, vm: int, server: int) -> float:
         if self._previous is None:
             return 0.0
@@ -485,6 +542,8 @@ class IncrementalEvaluator:
         d.knee = {}
         d.group_viol = {}
         d.server_penalty = {}
+        d.server_energy = {}
+        d.energy_total = self._energy_total
         d.operating_active = None
         if new == old:
             return d
@@ -538,7 +597,8 @@ class IncrementalEvaluator:
             if new != UNPLACED:
                 d.usage_cost += float(compiled.per_resource_rate[new])
 
-        # Downtime: re-price the residents of the two touched servers.
+        # Downtime (and energy, when priced): re-price the residents of
+        # the two touched servers.
         for s, row_list in row_lists.items():
             residents = self._residents[s]
             if s == old:
@@ -548,6 +608,10 @@ class IncrementalEvaluator:
             penalty = self._server_penalty_value(s, row_list, residents)
             d.server_penalty[s] = penalty
             d.downtime_total += penalty - float(self._server_penalty[s])
+            if self.energy_weight > 0.0:
+                energy = self._server_energy_value(s, row_list, residents)
+                d.server_energy[s] = energy
+                d.energy_total += energy - float(self._server_energy[s])
 
         # Migration (Eq. 26).
         d.migration_total += self._migration_contrib(
@@ -559,13 +623,16 @@ class IncrementalEvaluator:
         violations = d.cap_total + d.group_total + d.knee_total
         if self.include_assignment:
             violations += d.unplaced
+        provider = d.usage_cost
+        if self.energy_weight > 0.0:
+            provider += self.energy_weight * d.energy_total
         return MoveScore(
             vm=int(vm),
             server=d.new,
             old_server=d.old,
             violations=int(violations),
             objectives=np.array(
-                [d.usage_cost, d.downtime_total, d.migration_total]
+                [provider, d.downtime_total, d.migration_total]
             ),
         )
 
@@ -589,6 +656,8 @@ class IncrementalEvaluator:
             if self.qos_strict:
                 self._knee_over[s] = d.knee[s]
             self._server_penalty[s] = d.server_penalty[s]
+            if self.energy_weight > 0.0:
+                self._server_energy[s] = d.server_energy[s]
         for gi, viol in d.group_viol.items():
             self._group_viol[gi] = viol
         if d.old != UNPLACED:
@@ -602,6 +671,7 @@ class IncrementalEvaluator:
         self._usage_cost_total = d.usage_cost
         self._downtime_total = d.downtime_total
         self._migration_total = d.migration_total
+        self._energy_total = d.energy_total
         self.assignment[vm] = d.new
         return self._score_of(d, vm)
 
@@ -619,13 +689,21 @@ class IncrementalEvaluator:
             per_server_operating=self.per_server_operating,
             include_assignment_constraint=self.include_assignment,
             qos_strict=self.qos_strict,
+            energy_weight=self.energy_weight,
         )
+
+    def _objective_terms(self) -> tuple[str, ...]:
+        """Objective terms in effect ("energy" only when priced)."""
+        if self.energy_weight > 0.0:
+            return OBJECTIVE_TERMS + ("energy",)
+        return OBJECTIVE_TERMS
 
     def component_totals(self) -> dict[str, float]:
         """The tracked per-term state: the four constraint components
         (:data:`CONSTRAINT_TERMS`) and three objective terms
-        (:data:`OBJECTIVE_TERMS`) as one flat dict."""
-        return {
+        (:data:`OBJECTIVE_TERMS`, plus ``energy`` when priced) as one
+        flat dict."""
+        totals = {
             "capacity": float(self._cap_total),
             "group": float(self._group_total),
             "load_cap": float(self._knee_total),
@@ -634,6 +712,9 @@ class IncrementalEvaluator:
             "downtime": float(self._downtime_total),
             "migration": float(self._migration_total),
         }
+        if self.energy_weight > 0.0:
+            totals["energy"] = float(self._energy_total)
+        return totals
 
     def reference_components(self) -> dict[str, float]:
         """The same terms recomputed from scratch by the reference
@@ -646,7 +727,7 @@ class IncrementalEvaluator:
             if constraints.load_cap is not None
             else 0.0
         )
-        return {
+        reference = {
             "capacity": float(constraints.capacity.violations(assignment)),
             "group": float(
                 sum(c.violations(assignment) for c in constraints.group_constraints)
@@ -657,6 +738,9 @@ class IncrementalEvaluator:
             "downtime": float(evaluator.downtime.value(assignment)),
             "migration": float(evaluator.migration.value(assignment)),
         }
+        if self.energy_weight > 0.0:
+            reference["energy"] = float(evaluator.energy.value(assignment))
+        return reference
 
     def verify(
         self, *, rtol: float = 1e-9, atol: float = 1e-9, strict: bool = True
@@ -682,7 +766,7 @@ class IncrementalEvaluator:
                     ok=incremental[term] == reference[term],
                 )
             )
-        for term in OBJECTIVE_TERMS:
+        for term in self._objective_terms():
             deltas.append(
                 ParityDelta(
                     term=term,

@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.allocator import Allocator, BatchOutcome
+from repro.allocator import Allocator, AnytimeRun, BatchOutcome
 from repro.cp.search import SearchLimits
 from repro.cp.solver import CPSolver
 from repro.ea.config import NSGAConfig
@@ -29,7 +29,6 @@ from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
 from repro.tabu.repair import TabuRepair
 from repro.types import AlgorithmKind, FloatArray, IntArray
-from repro.utils.timers import Stopwatch
 
 __all__ = [
     "NSGA2Allocator",
@@ -39,11 +38,134 @@ __all__ = [
 ]
 
 
+class _NSGAAnytimeRun(AnytimeRun):
+    """Generation-granular anytime EA solve.
+
+    Wraps an :class:`~repro.ea.nsga_base.EngineRun`: one work unit =
+    one generation, the incumbent is the population's paper pick
+    (feasible-closest-to-ideal, else least-violating) and
+    :meth:`best_front` is the population's true feasible front rather
+    than the one-point default.  The final :meth:`finish` replays the
+    blocking path's tail — post-process hook, then uniform
+    :meth:`Allocator.finalize` — so driving the run to exhaustion is
+    byte-identical to :meth:`Allocator.allocate`.
+    """
+
+    def __init__(
+        self,
+        allocator: "_NSGAAllocatorBase",
+        infrastructure: Infrastructure,
+        requests: Sequence[Request],
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+    ) -> None:
+        merged, owner = Allocator.merge_requests(requests)
+        super().__init__(
+            allocator,
+            infrastructure,
+            merged,
+            owner,
+            base_usage=base_usage,
+            previous_assignment=previous_assignment,
+        )
+        evaluator = self.compiled.evaluator(
+            base_usage=base_usage,
+            previous_assignment=previous_assignment,
+            include_assignment_constraint=False,
+            energy_weight=allocator.config.energy_weight,
+        )
+        execution_engine = allocator._ensure_execution_engine()
+        if (
+            execution_engine is not None
+            and allocator.config.parallel_eval_min_pop is not None
+        ):
+            evaluator = ChunkedPopulationEvaluator(
+                evaluator,
+                execution_engine,
+                self.compiled,
+                min_rows=allocator.config.parallel_eval_min_pop,
+                base_usage=base_usage,
+                previous_assignment=previous_assignment,
+                include_assignment_constraint=False,
+                energy_weight=allocator.config.energy_weight,
+            )
+        self.engine = allocator._build_engine(
+            infrastructure, merged, base_usage, self.compiled
+        )
+        self.run = self.engine.start_run(
+            evaluator,
+            checkpoint_manager=allocator.checkpoint_manager,
+            fingerprint=self.compiled.fingerprint,
+        )
+
+    def step(self, budget: int = 1) -> bool:
+        alive = self.run.step(budget)
+        self.evaluations = self.run.evaluations
+        return alive
+
+    def best_solution(self) -> IntArray:
+        return self.run.best_genome()
+
+    def best_front(self) -> FloatArray:
+        _, objectives = self.run.front()
+        if objectives.shape[0] > 0:
+            return objectives
+        return super().best_front()
+
+    def front(self) -> tuple[IntArray, FloatArray]:
+        """(genomes, objectives) of the feasible nondominated set."""
+        return self.run.front()
+
+    def inject(
+        self,
+        genomes: IntArray,
+        objectives: FloatArray,
+        violations: IntArray,
+    ) -> int:
+        """Replace the population's worst rows with pooled incumbents."""
+        return self.run.inject(genomes, objectives, violations)
+
+    def set_deadline(self, deadline: float) -> None:
+        self.run.set_deadline(deadline)
+
+    def _finalize(self) -> BatchOutcome:
+        result = self.run.result()
+        allocator: _NSGAAllocatorBase = self.allocator
+        assignment = allocator._post_process(
+            result.best_genome(),
+            self.infrastructure,
+            self.merged,
+            self.base_usage,
+            self.compiled,
+        )
+        extra = {"generations": len(result.history)}
+        handler = getattr(self.engine, "handler", None)
+        if isinstance(handler, RepairHandling):
+            extra["repair_calls"] = handler.repair_calls
+        if result.resumed_from is not None:
+            extra["resumed_from"] = result.resumed_from
+        if result.interrupted:
+            extra["interrupted"] = True
+        return allocator.finalize(
+            self.infrastructure,
+            self.merged,
+            self.owner,
+            assignment,
+            elapsed=self.stopwatch.stop(),
+            base_usage=self.base_usage,
+            previous_assignment=self.previous_assignment,
+            evaluations=result.evaluations,
+            extra=extra,
+            compiled=self.compiled,
+        )
+
+
 class _NSGAAllocatorBase(Allocator):
     """Shared run loop for the four evolutionary allocators."""
 
     def __init__(self, config: NSGAConfig | None = None) -> None:
         self.config = config or NSGAConfig()
+        self.energy_weight = self.config.energy_weight
 
     def _ensure_execution_engine(self) -> ParallelEngine | None:
         """The allocator's parallel engine, or ``None`` for serial runs.
@@ -84,6 +206,22 @@ class _NSGAAllocatorBase(Allocator):
         default; the tabu hybrid applies one final repair pass here)."""
         return assignment
 
+    def start(
+        self,
+        infrastructure: Infrastructure,
+        requests: Sequence[Request],
+        base_usage: FloatArray | None = None,
+        previous_assignment: IntArray | None = None,
+    ) -> _NSGAAnytimeRun:
+        """Begin a generation-granular anytime solve."""
+        return _NSGAAnytimeRun(
+            self,
+            infrastructure,
+            requests,
+            base_usage=base_usage,
+            previous_assignment=previous_assignment,
+        )
+
     def allocate(
         self,
         infrastructure: Infrastructure,
@@ -92,60 +230,15 @@ class _NSGAAllocatorBase(Allocator):
         previous_assignment: IntArray | None = None,
     ) -> BatchOutcome:
         """Run the configured NSGA variant; see :meth:`Allocator.allocate`."""
-        merged, owner = self.merge_requests(requests)
-        stopwatch = Stopwatch().start()
-
-        compiled = self.compile_problem(infrastructure, merged)
-        evaluator = compiled.evaluator(
-            base_usage=base_usage,
-            previous_assignment=previous_assignment,
-            include_assignment_constraint=False,
-        )
-        execution_engine = self._ensure_execution_engine()
-        if (
-            execution_engine is not None
-            and self.config.parallel_eval_min_pop is not None
-        ):
-            evaluator = ChunkedPopulationEvaluator(
-                evaluator,
-                execution_engine,
-                compiled,
-                min_rows=self.config.parallel_eval_min_pop,
-                base_usage=base_usage,
-                previous_assignment=previous_assignment,
-                include_assignment_constraint=False,
-            )
-        engine = self._build_engine(infrastructure, merged, base_usage, compiled)
-        result = engine.run(
-            evaluator,
-            checkpoint_manager=self.checkpoint_manager,
-            fingerprint=compiled.fingerprint,
-        )
-        assignment = self._post_process(
-            result.best_genome(), infrastructure, merged, base_usage, compiled
-        )
-
-        stopwatch.stop()
-        extra = {"generations": len(result.history)}
-        handler = getattr(engine, "handler", None)
-        if isinstance(handler, RepairHandling):
-            extra["repair_calls"] = handler.repair_calls
-        if result.resumed_from is not None:
-            extra["resumed_from"] = result.resumed_from
-        if result.interrupted:
-            extra["interrupted"] = True
-        return self.finalize(
+        run = self.start(
             infrastructure,
-            merged,
-            owner,
-            assignment,
-            elapsed=stopwatch.elapsed,
+            requests,
             base_usage=base_usage,
             previous_assignment=previous_assignment,
-            evaluations=result.evaluations,
-            extra=extra,
-            compiled=compiled,
         )
+        while run.step():
+            pass
+        return run.finish()
 
 
 class NSGA2Allocator(_NSGAAllocatorBase):

@@ -16,6 +16,7 @@ populations without Python-level loops.
 from repro.objectives.qos import qos_from_load, loads_from_usage
 from repro.objectives.usage_cost import UsageOperatingCost
 from repro.objectives.downtime import DowntimeCost
+from repro.objectives.energy import ENERGY_IDLE_FRACTION, EnergyCost, power_model
 from repro.objectives.migration import MigrationCost
 from repro.objectives.aggregate import ObjectiveVector, aggregate_scalar
 from repro.objectives.evaluator import PopulationEvaluator
@@ -26,6 +27,9 @@ __all__ = [
     "loads_from_usage",
     "UsageOperatingCost",
     "DowntimeCost",
+    "ENERGY_IDLE_FRACTION",
+    "EnergyCost",
+    "power_model",
     "MigrationCost",
     "ObjectiveVector",
     "aggregate_scalar",

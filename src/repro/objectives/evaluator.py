@@ -19,6 +19,7 @@ from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
 from repro.objectives.aggregate import ObjectiveVector, aggregate_scalar
 from repro.objectives.downtime import DowntimeCost
+from repro.objectives.energy import EnergyCost
 from repro.objectives.migration import MigrationCost
 from repro.objectives.usage_cost import UsageOperatingCost
 from repro.types import FloatArray, IntArray
@@ -72,6 +73,11 @@ class PopulationEvaluator:
     qos_strict:
         Enable the hard load-cap constraint (L <= LM) in addition to
         plain capacity (see :mod:`repro.constraints.load_cap`).
+    energy_weight:
+        Weight of the optional :class:`EnergyCost` term folded into
+        objective column 0 (see :mod:`repro.objectives.energy`);
+        0.0 — the default — skips the term entirely and reproduces the
+        paper's formulation bit for bit.
     constraints:
         An already-built :class:`ConstraintSet` for this instance and
         these options (e.g. bound from a
@@ -90,6 +96,7 @@ class PopulationEvaluator:
         per_server_operating: bool = False,
         include_assignment_constraint: bool = False,
         qos_strict: bool = False,
+        energy_weight: float = 0.0,
         constraints: ConstraintSet | None = None,
     ) -> None:
         self.infrastructure = infrastructure
@@ -108,6 +115,12 @@ class PopulationEvaluator:
             infrastructure, request, base_usage=base_usage, mode=downtime_mode
         )
         self.migration = MigrationCost(request, previous_assignment)
+        self.energy_weight = float(energy_weight)
+        self.energy: EnergyCost | None = (
+            EnergyCost(infrastructure, request.demand, base_usage=base_usage)
+            if self.energy_weight > 0.0
+            else None
+        )
         self._evaluations = 0
 
     # ------------------------------------------------------------------
@@ -124,8 +137,11 @@ class PopulationEvaluator:
     def evaluate(self, assignment: IntArray) -> ObjectiveVector:
         """Objective vector of one genome."""
         self._evaluations += 1
+        provider = self.usage_cost.value(assignment)
+        if self.energy is not None:
+            provider += self.energy_weight * self.energy.value(assignment)
         return ObjectiveVector(
-            usage_and_operating_cost=self.usage_cost.value(assignment),
+            usage_and_operating_cost=provider,
             downtime_cost=self.downtime.value(assignment),
             migration_cost=self.migration.value(assignment),
         )
@@ -159,8 +175,11 @@ class PopulationEvaluator:
             violations += self.constraints.load_cap.violations(assignment)
         if self.constraints.assignment is not None:
             violations += self.constraints.assignment.violations(assignment)
+        provider = self.usage_cost.value(assignment)
+        if self.energy is not None:
+            provider += self.energy_weight * self.energy.value(assignment, usage)
         objectives = ObjectiveVector(
-            usage_and_operating_cost=self.usage_cost.value(assignment),
+            usage_and_operating_cost=provider,
             downtime_cost=self.downtime.value_from_usage(assignment, usage),
             migration_cost=self.migration.value(assignment),
         )
@@ -193,6 +212,10 @@ class PopulationEvaluator:
 
         objectives = np.empty((pop, 3))
         objectives[:, 0] = self.usage_cost.batch(population)
+        if self.energy is not None:
+            objectives[:, 0] += self.energy_weight * self.energy.batch(
+                population, usage
+            )
         objectives[:, 1] = self.downtime.batch(population, usage)
         objectives[:, 2] = self.migration.batch(population)
         return EvaluationResult(objectives=objectives, violations=violations)

@@ -1,0 +1,23 @@
+"""Anytime solver portfolio: deadline-driven races over shared incumbents.
+
+* :class:`IncumbentPool` — the bounded Pareto archive members trade
+  proven placements through.
+* :class:`PortfolioAllocator` / :class:`PortfolioRun` — the round-robin
+  racer over the anytime contract (docs/PORTFOLIO.md).
+"""
+
+from repro.portfolio.incumbents import IncumbentPool
+from repro.portfolio.racer import (
+    MEMBER_NAMES,
+    PortfolioAllocator,
+    PortfolioRun,
+    parse_members,
+)
+
+__all__ = [
+    "IncumbentPool",
+    "MEMBER_NAMES",
+    "PortfolioAllocator",
+    "PortfolioRun",
+    "parse_members",
+]

@@ -77,6 +77,9 @@ _TRAJECTORY_FIELDS = (
     "penalty_coefficient",
     "repair_parents",
     "seed",
+    # The optional energy term reshapes the objective landscape, so two
+    # runs differing in weight are distinct trajectories.
+    "energy_weight",
 )
 
 

@@ -367,7 +367,13 @@ class TimeWindowScheduler:
         return reports
 
     def close(self) -> None:
-        """Shut down the shared execution engine, if one was injected."""
+        """Release the allocator's resources and the shared engine.
+
+        The allocator may hold its own worker pool (or, for a
+        portfolio, its members' pools) even when no engine was injected
+        into the scheduler — closing only the injected engine used to
+        leak those."""
+        self.allocator.close()
         if self.execution_engine is not None:
             self.execution_engine.close()
             self.execution_engine = None

@@ -42,7 +42,7 @@ from repro.runtime.signals import clear_shutdown, request_shutdown
 from repro.serialization import infrastructure_from_dict, infrastructure_to_dict
 from repro.service.admission import AdmissionController
 from repro.service.api import ApiServer
-from repro.service.reoptimizer import Reoptimizer
+from repro.service.reoptimizer import DEFAULT_MEMBERS, Reoptimizer
 from repro.service.state import ServiceState
 from repro.telemetry import get_registry
 from repro.workloads.generator import ScenarioGenerator, ScenarioSpec
@@ -80,6 +80,10 @@ class ServiceConfig:
     evaluations: int = 600
     #: Worker processes for the reoptimizer's parallel engine (0 = serial).
     workers: int = 0
+    #: Portfolio spec raced by the background reoptimizer.
+    members: str = DEFAULT_MEMBERS
+    #: Wall-clock budget per reoptimization solve (None = run to budget).
+    deadline_ms: float | None = None
     scenario: str | None = None
     resume: bool = False
 
@@ -208,6 +212,8 @@ class ServiceApp:
                 n_workers=config.workers,
             ),
             every=config.window_every,
+            members=config.members,
+            deadline_ms=config.deadline_ms,
         )
         self.api = ApiServer(
             self.state,

@@ -2,16 +2,17 @@
 
 While admission answers in milliseconds with greedy incumbent
 placements, this loop periodically re-optimizes the whole resident set
-with the NSGA-III + tabu stack (optionally over the PR 4 parallel
-engine) and migrates the platform toward a better front — without ever
-blocking admission:
+with a deadline-bounded anytime portfolio (NSGA-III + tabu racing the
+exact CP solve and a standalone tabu walk by default, optionally over
+the PR 4 parallel engine) and migrates the platform toward a better
+front — without ever blocking admission:
 
 1. **snapshot** — :meth:`ServiceState.snapshot` hands over a deep
    JSON-able copy of the scheduler state plus the current epoch;
 2. **shadow solve** — a worker thread rebuilds a private shadow
    scheduler from the copy and runs
    :meth:`~repro.scheduler.window.TimeWindowScheduler.reoptimize`
-   with the configured EA allocator; the live event loop keeps
+   with the configured portfolio; the live event loop keeps
    admitting the whole time;
 3. **publish** — back on the loop, the resulting migration plan is
    applied only if (a) the shadow allocation is feasible, (b) it does
@@ -36,15 +37,23 @@ from typing import Any
 import numpy as np
 
 from repro.ea.config import NSGAConfig
-from repro.ea.hypervolume import hypervolume
-from repro.hybrid.nsga_allocators import NSGA3TabuAllocator
+from repro.ea.hypervolume import hypervolume, reference_point
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
+from repro.portfolio.racer import PortfolioAllocator
 from repro.scheduler.window import TimeWindowScheduler
 from repro.service.state import ServiceState
 from repro.telemetry import get_registry, span
 
-__all__ = ["ReoptimizeCycle", "Reoptimizer", "shadow_reoptimize"]
+__all__ = [
+    "DEFAULT_MEMBERS",
+    "ReoptimizeCycle",
+    "Reoptimizer",
+    "shadow_reoptimize",
+]
+
+#: Default portfolio raced by the background reoptimizer.
+DEFAULT_MEMBERS = "nsga3_tabu+cp+tabu"
 
 
 @dataclass(frozen=True)
@@ -80,67 +89,81 @@ def shadow_reoptimize(
     infrastructure: Infrastructure,
     payload: dict[str, Any],
     config: NSGAConfig,
+    members: str = DEFAULT_MEMBERS,
+    deadline_ms: float | None = None,
 ) -> dict[str, Any]:
     """Run one reoptimization pass on a *private* shadow scheduler.
 
-    Executed on a worker thread.  Returns the candidate plan plus the
-    hypervolume of the incumbent allocation's objective point
-    (``hv_before``) and the candidate's (``hv_after``) under a shared
-    reference point, so the caller can enforce improve-or-preserve.
+    Executed on a worker thread.  The solve races a deadline-bounded
+    :class:`~repro.portfolio.racer.PortfolioAllocator` (instead of a
+    fixed NSGA-III + tabu budget), so a tight ``deadline_ms`` ships the
+    best pooled incumbent found so far rather than blocking the cycle.
+    Returns the candidate plan plus the hypervolume of the incumbent
+    allocation's objective point (``hv_before``) and the candidate's
+    (``hv_after``) under a shared reference point, so the caller can
+    enforce improve-or-preserve.
     """
-    allocator = NSGA3TabuAllocator(config=config)
+    allocator = PortfolioAllocator(
+        config=config, members=members, deadline_ms=deadline_ms
+    )
     shadow = TimeWindowScheduler(
         infrastructure=infrastructure,
         allocator=allocator,
         window_length=float(payload["window_length"]),
     )
-    shadow.load_state_dict(payload)
-    tenants = shadow.state.tenants()
-    if not tenants:
-        return {"feasible": False, "reason": "empty", "tenants": 0}
+    try:
+        shadow.load_state_dict(payload)
+        tenants = shadow.state.tenants()
+        if not tenants:
+            return {"feasible": False, "reason": "empty", "tenants": 0}
 
-    # Incumbent objective point: the current allocation scored with
-    # itself as X^t, so its migration term is zero by construction.
-    requests = [shadow.request_for(key) for key in tenants]
-    merged, _ = Request.concatenate(requests)
-    previous = np.concatenate(
-        [shadow.state.previous_assignment(key) for key in tenants]
-    )
-    compiled = allocator.compile_problem(infrastructure, merged)
-    evaluator = compiled.evaluator(previous_assignment=previous)
-    before = evaluator.evaluate(previous).as_array()
+        # Incumbent objective point: the current allocation scored with
+        # itself as X^t, so its migration term is zero by construction.
+        requests = [shadow.request_for(key) for key in tenants]
+        merged, _ = Request.concatenate(requests)
+        previous = np.concatenate(
+            [shadow.state.previous_assignment(key) for key in tenants]
+        )
+        compiled = allocator.compile_problem(infrastructure, merged)
+        evaluator = compiled.evaluator(previous_assignment=previous)
+        before = evaluator.evaluate(previous).as_array()
 
-    result = shadow.reoptimize()
-    outcome, plan = result
-    after = np.asarray(outcome.objectives, dtype=np.float64)
-    feasible = bool(outcome.accepted.all()) and outcome.violations == 0
+        result = shadow.reoptimize()
+        outcome, plan = result
+        after = np.asarray(outcome.objectives, dtype=np.float64)
+        feasible = bool(outcome.accepted.all()) and outcome.violations == 0
 
-    # Dominated-hypervolume comparison of the two single points under a
-    # shared reference: hv(point) = prod(ref - point), so hv_after >=
-    # hv_before iff the candidate is at least as good volume-wise once
-    # its migration cost is priced in.
-    reference = np.maximum(before, after) + 1.0
-    hv_before = hypervolume(before[np.newaxis, :], reference)
-    hv_after = hypervolume(after[np.newaxis, :], reference)
+        # Dominated-hypervolume comparison of the two single points
+        # under a shared reference: hv(point) = prod(ref - point), so
+        # hv_after >= hv_before iff the candidate is at least as good
+        # volume-wise once its migration cost is priced in.
+        reference = reference_point(np.stack([before, after]), margin=1.0)
+        hv_before = hypervolume(before[np.newaxis, :], reference)
+        hv_after = hypervolume(after[np.newaxis, :], reference)
 
-    assignments = None
-    if feasible:
-        assignments = {}
-        offset = 0
-        for key, request in zip(tenants, requests):
-            block = outcome.assignment[offset : offset + request.n]
-            offset += request.n
-            assignments[key] = [int(g) for g in block]
-    allocator.close()
-    return {
-        "feasible": feasible,
-        "tenants": len(tenants),
-        "assignments": assignments,
-        "hv_before": float(hv_before),
-        "hv_after": float(hv_after),
-        "moves": int(plan.size),
-        "evaluations": int(outcome.evaluations),
-    }
+        assignments = None
+        if feasible:
+            assignments = {}
+            offset = 0
+            for key, request in zip(tenants, requests):
+                block = outcome.assignment[offset : offset + request.n]
+                offset += request.n
+                assignments[key] = [int(g) for g in block]
+        return {
+            "feasible": feasible,
+            "tenants": len(tenants),
+            "assignments": assignments,
+            "hv_before": float(hv_before),
+            "hv_after": float(hv_after),
+            "moves": int(plan.size),
+            "evaluations": int(outcome.evaluations),
+            "algorithm": outcome.algorithm,
+        }
+    finally:
+        # The shadow scheduler owns the portfolio (and its member
+        # allocators' shared worker pool): closing it here is what
+        # keeps a crashing cycle from leaking the pool.
+        shadow.close()
 
 
 class Reoptimizer:
@@ -152,12 +175,16 @@ class Reoptimizer:
         config: NSGAConfig | None = None,
         every: float = 30.0,
         executor: ThreadPoolExecutor | None = None,
+        members: str = DEFAULT_MEMBERS,
+        deadline_ms: float | None = None,
     ) -> None:
         self.state = state
         self.config = config or NSGAConfig(
             population_size=20, max_evaluations=600, seed=state.seed
         )
         self.every = float(every)
+        self.members = members
+        self.deadline_ms = deadline_ms
         self._executor = executor or ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="reoptimizer"
         )
@@ -219,6 +246,8 @@ class Reoptimizer:
                     self.state.infrastructure,
                     payload,
                     self.config,
+                    self.members,
+                    self.deadline_ms,
                 )
             elapsed = time.perf_counter() - started
             registry.observe("service.reoptimize.seconds", elapsed)

@@ -25,13 +25,22 @@ way.  This package is that guarantee, in three layers:
 * :mod:`repro.verify.service` — live-vs-batch conformance of the
   allocation service: replaying a service admission log through a
   fresh batch scheduler reproduces residents, ledger and clock byte
-  for byte (``python -m repro verify --check-service``).
+  for byte (``python -m repro verify --check-service``);
+* :mod:`repro.verify.anytime` — the anytime portfolio contract:
+  monotone non-worsening pooled front, ``allocate()`` ≡ stepwise
+  parity, seed determinism and the reoptimizer's portfolio wiring
+  (``python -m repro verify --check-anytime``).
 
 Telemetry lands in the ``verify.*`` namespace (see
 ``docs/OBSERVABILITY.md``); the checker catalog, oracle semantics and
 extension guide live in ``docs/VERIFY.md``.
 """
 
+from repro.verify.anytime import (
+    AnytimeMismatch,
+    AnytimeReport,
+    check_anytime_conformance,
+)
 from repro.verify.fuzzer import FuzzConfig, FuzzFailure, FuzzReport, run_fuzz
 from repro.verify.invariants import (
     CheckContext,
@@ -112,4 +121,8 @@ __all__ = [
     "ServiceConformanceReport",
     "ServiceMismatch",
     "check_service_conformance",
+    # anytime-portfolio conformance
+    "AnytimeMismatch",
+    "AnytimeReport",
+    "check_anytime_conformance",
 ]

@@ -202,9 +202,12 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
 
         # 2. A real allocator's outcome must satisfy every invariant.
         allocator = config.allocator_factory()
-        outcome = allocator.allocate(
-            scenario.infrastructure, scenario.requests
-        )
+        try:
+            outcome = allocator.allocate(
+                scenario.infrastructure, scenario.requests
+            )
+        finally:
+            allocator.close()
         ctx = CheckContext(
             infrastructure=scenario.infrastructure,
             requests=scenario.requests,

@@ -317,6 +317,53 @@ def _objective_finiteness(ctx: CheckContext) -> list[InvariantViolation]:
     return out
 
 
+@register_invariant("energy_bound")
+def _energy_bound(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.assignment is None or ctx.merged is None:
+        return []
+    from repro.objectives.energy import EnergyCost
+
+    cost = EnergyCost(
+        ctx.infrastructure, ctx.merged.demand, base_usage=ctx.base_usage
+    )
+    assignment = np.asarray(ctx.assignment, dtype=np.int64)
+    accepted = ctx.accepted_resources
+    if accepted is not None:
+        assignment = np.where(accepted, assignment, UNPLACED)
+    value = cost.value(assignment)
+    if not np.isfinite(value) or value < 0:
+        return [
+            InvariantViolation(
+                "energy_bound",
+                f"energy term is not finite and non-negative: {value}",
+                {},
+            )
+        ]
+    # When no host is oversubscribed (loads <= 1) the linear power
+    # model is capped by every host running flat out.
+    usage = np.zeros((ctx.infrastructure.m, ctx.infrastructure.h))
+    mask = assignment != UNPLACED
+    np.add.at(usage, assignment[mask], ctx.merged.demand[mask])
+    base = (
+        np.asarray(ctx.base_usage, dtype=np.float64)
+        if ctx.base_usage is not None
+        else 0.0
+    )
+    capacity = ctx.infrastructure.effective_capacity
+    loads = np.where(capacity > 0, (usage + base) / np.where(capacity > 0, capacity, 1.0), 0.0)
+    ceiling = cost.upper_bound()
+    if np.all(loads <= 1.0 + 1e-9) and value > ceiling * (1.0 + 1e-9):
+        return [
+            InvariantViolation(
+                "energy_bound",
+                f"energy {value} exceeds the all-hosts-at-full-load "
+                f"ceiling {ceiling} despite loads <= 1",
+                {"value": float(value), "ceiling": float(ceiling)},
+            )
+        ]
+    return []
+
+
 @register_invariant("pareto_front_non_domination")
 def _pareto_front_non_domination(ctx: CheckContext) -> list[InvariantViolation]:
     if ctx.front_objectives is None:

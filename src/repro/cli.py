@@ -10,8 +10,12 @@ Usage (after ``pip install -e .``)::
     python -m repro table2
     python -m repro table3
     python -m repro generate --servers 40 --vms 80 --out scenario.json
+    python -m repro scenario list
+    python -m repro scenario run steady_churn --seed 7
     python -m repro verify   --fuzz 20 --seed 7
+    python -m repro verify   --fuzz 10 --scenario maintenance_drain
     python -m repro serve    --port 8080 --checkpoint-dir state/
+    python -m repro serve    --scenario failure_storm --port 0
     python -m repro compare  --telemetry console       # live event stream
     python -m repro fig9     --telemetry jsonl:events.jsonl
 
@@ -330,6 +334,93 @@ def _parse_workers(text: str) -> tuple[int, ...]:
     return counts
 
 
+def cmd_scenario(args) -> int:
+    """Run ``python -m repro scenario list|run``."""
+    from repro.workloads.scenarios import (
+        compile_scenario,
+        get_scenario,
+        scenario_names,
+    )
+
+    if args.action == "list":
+        rows = [
+            [
+                name,
+                get_scenario(name).servers,
+                get_scenario(name).traffic,
+                f"{get_scenario(name).horizon:g}",
+                get_scenario(name).description,
+            ]
+            for name in scenario_names()
+        ]
+        print(
+            format_table(
+                ["name", "servers", "traffic", "horizon", "description"],
+                rows,
+                title="Registered dynamic scenarios (docs/SCENARIOS.md)",
+            )
+        )
+        return 0
+    if not args.name:
+        print(
+            "error: `scenario run` needs a scenario name; "
+            f"pick from {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.name not in scenario_names():
+        print(
+            f"error: unknown scenario {args.name!r}; "
+            f"pick from {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    factories = _factories(args, include_cp_hybrid=True, include_portfolio=True)
+    if args.allocator not in factories:
+        print(
+            f"error: unknown allocator {args.allocator!r}; "
+            f"pick from {', '.join(sorted(factories))}",
+            file=sys.stderr,
+        )
+        return 2
+    compiled = compile_scenario(args.name, seed=args.seed)
+    allocator = factories[args.allocator]()
+    try:
+        result = compiled.run(allocator)
+    finally:
+        allocator.close()
+    metrics = result.metrics
+    print(
+        format_table(
+            [
+                "windows",
+                "time (s)",
+                "rejection",
+                "violations",
+                "provider cost",
+                "sla rate",
+                "churn",
+            ],
+            [metrics.as_row()],
+            title=(
+                f"Scenario {args.name!r} x {result.algorithm} "
+                f"(seed {args.seed}, {len(compiled)} events)"
+            ),
+        )
+    )
+    print(
+        f"accepted {metrics.accepted} / rejected {metrics.rejected} / "
+        f"displaced {metrics.displaced} decisions; "
+        f"{metrics.failures} failure(s), {metrics.drains} drain(s), "
+        f"{metrics.migration_moves} migration move(s)"
+    )
+    print(
+        f"event fingerprint {compiled.event_fingerprint()}  "
+        f"ledger {result.ledger_fingerprint}"
+    )
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Run ``python -m repro verify``."""
     from repro.telemetry import get_registry
@@ -341,6 +432,24 @@ def cmd_verify(args) -> int:
     )
 
     fuzz_kwargs = {}
+    if args.scenario:
+        from repro.workloads.scenarios import scenario_names
+
+        names: list[str] = []
+        for entry in args.scenario:
+            if entry == "all":
+                names.extend(scenario_names())
+            else:
+                names.append(entry)
+        unknown = sorted(set(names) - set(scenario_names()))
+        if unknown:
+            print(
+                f"error: unknown scenario(s) {', '.join(unknown)}; "
+                f"pick from {', '.join(scenario_names())} (or 'all')",
+                file=sys.stderr,
+            )
+            return 2
+        fuzz_kwargs["dynamic_scenarios"] = tuple(names)
     if args.allocator is not None:
         factories = _factories(
             args, include_cp_hybrid=True, include_portfolio=True
@@ -563,12 +672,42 @@ def build_parser() -> argparse.ArgumentParser:
         ("compare", cmd_compare, "all algorithms on one scenario"),
         ("generate", cmd_generate, "dump a scenario to JSON"),
         ("diagnose", cmd_diagnose, "pre-flight feasibility checks on a scenario JSON"),
+        ("scenario", cmd_scenario, "dynamic scenario registry: list / run (docs/SCENARIOS.md)"),
         ("verify", cmd_verify, "cross-solver conformance fuzzing (docs/VERIFY.md)"),
         ("serve", cmd_serve, "always-on allocation service (docs/SERVICE.md)"),
     ]:
         p = sub.add_parser(name, help=help_text, parents=[common])
         p.set_defaults(func=fn)
+        if name == "scenario":
+            p.add_argument(
+                "action",
+                choices=("list", "run"),
+                help="list the registry, or compile+run one scenario",
+            )
+            p.add_argument(
+                "name",
+                nargs="?",
+                default=None,
+                metavar="NAME",
+                help="registered scenario name (required for `run`)",
+            )
+            p.add_argument(
+                "--allocator",
+                default="round_robin",
+                metavar="NAME",
+                help="allocator driving the scenario's windows "
+                "(default round_robin)",
+            )
         if name == "verify":
+            p.add_argument(
+                "--scenario",
+                action="append",
+                default=None,
+                metavar="NAME",
+                help="also check the dynamic metamorphic laws against "
+                "this registered scenario's event stream each iteration "
+                "(repeatable; 'all' = entire registry; docs/SCENARIOS.md)",
+            )
             p.add_argument(
                 "--fuzz",
                 type=int,
@@ -695,9 +834,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--scenario",
                 default=None,
-                metavar="JSON",
-                help="serve this scenario's infrastructure instead of "
-                "generating one",
+                metavar="JSON|NAME",
+                help="serve this scenario JSON's infrastructure instead "
+                "of generating one — or the name of a registered "
+                "dynamic scenario (`repro scenario list`), which the "
+                "service then plays back through live admission",
             )
             p.add_argument(
                 "--resume",

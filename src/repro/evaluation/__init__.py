@@ -2,7 +2,9 @@
 
 * :mod:`metrics` — per-run records and multi-run aggregation of the
   four criteria (execution time, rejection rate, violated constraints,
-  provider cost);
+  provider cost), plus the dynamic-scenario extension
+  (:class:`~repro.evaluation.metrics.ScenarioMetrics`: SLA-violation
+  rate and migration churn over a windowed run);
 * :mod:`runner` — run a set of algorithms over a size sweep of random
   scenarios, averaging over repetitions (the paper uses 100 runs);
 * :mod:`comparison` — the computed capability matrix behind Table II;
@@ -12,7 +14,9 @@
 from repro.evaluation.metrics import (
     AggregateMetrics,
     RunRecord,
+    ScenarioMetrics,
     aggregate_records,
+    scenario_metrics,
 )
 from repro.evaluation.parallel import ParallelExperimentRunner
 from repro.evaluation.runner import AllocatorFactory, ExperimentRunner, SweepResult
@@ -29,7 +33,9 @@ from repro.evaluation.stats import Comparison, bootstrap_ci, compare_algorithms,
 __all__ = [
     "RunRecord",
     "AggregateMetrics",
+    "ScenarioMetrics",
     "aggregate_records",
+    "scenario_metrics",
     "AllocatorFactory",
     "ExperimentRunner",
     "ParallelExperimentRunner",

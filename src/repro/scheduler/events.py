@@ -54,7 +54,7 @@ class DepartureEvent:
 
 @dataclass(frozen=True)
 class ServerFailureEvent:
-    """Physical server ``server`` fails at ``time``.
+    """Physical server ``server`` goes out of service at ``time``.
 
     The scheduler removes the server from the usable estate and
     *displaces* every resource hosted on it: affected tenants are
@@ -62,16 +62,29 @@ class ServerFailureEvent:
     (their previous assignment priced by the migration objective).
     This realizes the paper's future-work "platform failures" flow
     events.
+
+    ``reason`` distinguishes an unplanned crash (``"failure"``) from a
+    planned maintenance *drain* (``"drain"``, forced evacuation before
+    servicing the host).  Both are handled identically by the window
+    loop — the distinction exists for reporting and telemetry, and the
+    drain-then-fail metamorphic law (:mod:`repro.verify.dynamic`)
+    proves that a redundant failure of an already-drained server is a
+    no-op.
     """
 
     time: float
     server: int
+    reason: str = "failure"
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise SchedulerError(f"event time must be >= 0, got {self.time}")
         if self.server < 0:
             raise SchedulerError(f"server id must be >= 0, got {self.server}")
+        if self.reason not in ("failure", "drain"):
+            raise SchedulerError(
+                f"failure reason must be 'failure' or 'drain', got {self.reason!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ class SchedulerSummary:
     failures: int
     recoveries: int
     total_allocation_time: float
+    drains: int = 0
 
     @property
     def rejection_rate(self) -> float:
@@ -53,4 +54,5 @@ def summarize_reports(reports: list[WindowReport]) -> SchedulerSummary:
         total_allocation_time=sum(
             r.outcome.elapsed for r in reports if r.outcome is not None
         ),
+        drains=sum(len(r.drains) for r in reports),
     )

@@ -63,6 +63,9 @@ class WindowReport:
     failures: tuple[int, ...] = ()
     recoveries: tuple[int, ...] = ()
     displaced: tuple[str, ...] = ()
+    #: Servers taken out of service this window for planned maintenance
+    #: (``schedule_drain``) — handled like failures, reported apart.
+    drains: tuple[int, ...] = ()
 
     @property
     def rejection_rate(self) -> float:
@@ -138,6 +141,24 @@ class TimeWindowScheduler:
                 f"server {server} outside [0, {self.infrastructure.m})"
             )
         self._queue.push(ServerFailureEvent(time=at, server=server))
+
+    def schedule_drain(self, server: int, at: float) -> None:
+        """Enqueue a maintenance drain: forced evacuation of ``server``.
+
+        Semantically a planned failure — the server leaves the usable
+        estate and its tenants are displaced into the window batch for
+        re-placement — but reported separately (``WindowReport.drains``,
+        ``scheduler.drains``) so operations can tell maintenance from
+        crashes.  Pair with :meth:`schedule_recovery` to end the
+        maintenance window.
+        """
+        if not (0 <= server < self.infrastructure.m):
+            raise SchedulerError(
+                f"server {server} outside [0, {self.infrastructure.m})"
+            )
+        self._queue.push(
+            ServerFailureEvent(time=at, server=server, reason="drain")
+        )
 
     def schedule_recovery(self, server: int, at: float) -> None:
         """Enqueue a server returning to service."""
@@ -216,6 +237,7 @@ class TimeWindowScheduler:
 
         departures: list[str] = []
         failures: list[int] = []
+        drains: list[int] = []
         recoveries: list[int] = []
         batch_keys: list[str] = []
         batch_requests: list[Request] = []
@@ -232,7 +254,9 @@ class TimeWindowScheduler:
             elif isinstance(event, ServerFailureEvent):
                 if event.server not in self._failed_servers:
                     self._failed_servers.add(event.server)
-                    failures.append(event.server)
+                    (drains if event.reason == "drain" else failures).append(
+                        event.server
+                    )
                     # A tenant displaced by an *earlier* failure in this
                     # same window may still reference this server in the
                     # previous assignment it carries into the batch.
@@ -312,6 +336,7 @@ class TimeWindowScheduler:
             failures=tuple(failures),
             recoveries=tuple(recoveries),
             displaced=tuple(displaced_keys),
+            drains=tuple(drains),
         )
         self._record_window_telemetry(report)
         self._window_index += 1
@@ -331,6 +356,7 @@ class TimeWindowScheduler:
         registry.count("scheduler.rejected", len(report.rejected))
         registry.count("scheduler.displaced", len(report.displaced))
         registry.count("scheduler.failures", len(report.failures))
+        registry.count("scheduler.drains", len(report.drains))
         registry.count("scheduler.recoveries", len(report.recoveries))
         bus = get_bus()
         if not bus.enabled:
@@ -356,6 +382,7 @@ class TimeWindowScheduler:
                 displaced=len(report.displaced),
                 failures=len(report.failures),
                 recoveries=len(report.recoveries),
+                drains=len(report.drains),
             )
         )
 
@@ -402,7 +429,12 @@ class TimeWindowScheduler:
                 )
             elif isinstance(event, ServerFailureEvent):
                 events.append(
-                    {"type": "failure", "time": event.time, "server": event.server}
+                    {
+                        "type": "failure",
+                        "time": event.time,
+                        "server": event.server,
+                        "reason": event.reason,
+                    }
                 )
             elif isinstance(event, ServerRecoveryEvent):
                 events.append(
@@ -513,7 +545,11 @@ class TimeWindowScheduler:
                 )
             elif kind == "failure":
                 self._queue.push(
-                    ServerFailureEvent(time=event["time"], server=event["server"])
+                    ServerFailureEvent(
+                        time=event["time"],
+                        server=event["server"],
+                        reason=event.get("reason", "failure"),
+                    )
                 )
             elif kind == "recovery":
                 self._queue.push(

@@ -7,7 +7,10 @@
 :class:`~repro.service.api.ApiServer` (front door) — and owns its
 runtime story:
 
-* **boot** — the estate comes from a scenario JSON (``--scenario``), a
+* **boot** — the estate comes from a scenario JSON (``--scenario
+  FILE``), a *registered dynamic scenario* (``--scenario NAME``, see
+  :mod:`repro.workloads.scenarios` — its compiled churn/failure stream
+  is then played back through live admission window by window), a
   generated :class:`~repro.workloads.generator.ScenarioSpec`, or, with
   ``--resume``, the last service checkpoint;
 * **signals** — SIGTERM/SIGINT are bridged into the asyncio loop via
@@ -114,6 +117,10 @@ class ServiceApp:
         self._stop = asyncio.Event()
         self._signals_seen = 0
         self._windows_at_checkpoint = 0
+        #: Compiled dynamic scenario to play back (``--scenario NAME``).
+        self._playback = None
+        #: Set once the playback driver has admitted its last window.
+        self.playback_done = asyncio.Event()
 
     # ------------------------------------------------------------------
     # Boot
@@ -131,6 +138,22 @@ class ServiceApp:
             state.restore_payload(payload)
             return state
         if config.scenario:
+            from repro.workloads.scenarios import (
+                compile_scenario,
+                scenario_names,
+            )
+
+            if config.scenario in scenario_names():
+                # A registered dynamic scenario: serve its estate and
+                # play its event stream back through live admission.
+                self._playback = compile_scenario(
+                    config.scenario, seed=config.seed
+                )
+                return ServiceState(
+                    self._playback.infrastructure,
+                    window_length=self._playback.spec.window_length,
+                    seed=config.seed,
+                )
             data = json.loads(Path(config.scenario).read_text())
             infrastructure = infrastructure_from_dict(data["infrastructure"])
         else:
@@ -142,6 +165,81 @@ class ServiceApp:
             infrastructure,
             window_length=config.window_length,
             seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic-scenario playback
+    # ------------------------------------------------------------------
+    def _playback_batches(self) -> list[dict[str, Any]]:
+        """The compiled stream grouped into per-window admit() batches.
+
+        Window ``w`` of the scenario (events with
+        ``time // window_length == w``) becomes the ``w``-th admission
+        micro-batch; empty windows are still closed so the service's
+        logical clock tracks scenario time.
+        """
+        compiled = self._playback
+        length = compiled.spec.window_length
+        last = 0
+        batches: dict[int, dict[str, list]] = {}
+
+        def batch(time: float) -> dict[str, list]:
+            nonlocal last
+            index = int(time // length)
+            last = max(last, index)
+            return batches.setdefault(
+                index,
+                {
+                    "arrivals": [],
+                    "departures": [],
+                    "failures": [],
+                    "drains": [],
+                    "recoveries": [],
+                },
+            )
+
+        for event in compiled.arrivals:
+            batch(event.time)["arrivals"].append((event.key, event.request))
+        for event in compiled.departures:
+            batch(event.time)["departures"].append(event.key)
+        for event in compiled.failures:
+            batch(event.time)["failures"].append(event.server)
+        for event in compiled.drains:
+            batch(event.time)["drains"].append(event.server)
+        for event in compiled.recoveries:
+            batch(event.time)["recoveries"].append(event.server)
+        empty: dict[str, list] = {
+            "arrivals": [],
+            "departures": [],
+            "failures": [],
+            "drains": [],
+            "recoveries": [],
+        }
+        return [batches.get(index, empty) for index in range(last + 1)]
+
+    async def _drive_playback(self) -> None:
+        """Admit the compiled scenario's windows one by one, then idle.
+
+        Runs on the event loop (the service's single writer), yielding
+        between windows so API traffic and checkpoints interleave; the
+        admission log records the whole session for
+        ``verify --check-service``.
+        """
+        registry = get_registry()
+        name = self._playback.spec.name
+        for batch in self._playback_batches():
+            if self._stop.is_set():
+                break
+            self.state.admit(**batch)
+            registry.count("service.scenario.windows", scenario=name)
+            self._maybe_checkpoint()
+            await asyncio.sleep(0)
+        self.playback_done.set()
+        print(
+            f"repro.service scenario {name!r} played back "
+            f"(windows={self.state.scheduler.window_index}, "
+            f"tenants={self.state.tenant_count()})",
+            flush=True,
         )
 
     def load_checkpoint(self) -> dict[str, Any]:
@@ -238,6 +336,11 @@ class ServiceApp:
 
         self.controller.start()
         reopt_task = loop.create_task(self.reoptimizer.run(), name="reoptimizer")
+        playback_task = (
+            loop.create_task(self._drive_playback(), name="scenario-playback")
+            if self._playback is not None
+            else None
+        )
         port = await self.api.start()
         print(
             f"repro.service listening on http://{config.host}:{port} "
@@ -256,6 +359,12 @@ class ServiceApp:
                 await reopt_task
             except asyncio.CancelledError:
                 pass
+            if playback_task is not None:
+                playback_task.cancel()
+                try:
+                    await playback_task
+                except asyncio.CancelledError:
+                    pass
             self.save_checkpoint()
             for signum in installed:
                 loop.remove_signal_handler(signum)

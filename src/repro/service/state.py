@@ -124,19 +124,23 @@ class ServiceState:
         departures: Iterable[str] = (),
         failures: Iterable[int] = (),
         recoveries: Iterable[int] = (),
+        drains: Iterable[int] = (),
     ) -> WindowReport:
         """Close one admission micro-batch as a scheduler window.
 
         All events are stamped at the current logical clock and the
         window is run immediately, so the decision comes back
-        synchronously.  The batch — inputs *and* decisions — is
-        appended to the admission log, and the epoch advances.
+        synchronously.  ``drains`` are maintenance evacuations —
+        handled exactly like ``failures``, logged and reported apart.
+        The batch — inputs *and* decisions — is appended to the
+        admission log, and the epoch advances.
         """
         scheduler = self.scheduler
         arrivals = list(arrivals)
         departures = list(departures)
         failures = [int(s) for s in failures]
         recoveries = [int(s) for s in recoveries]
+        drains = [int(s) for s in drains]
         for key, request in arrivals:
             scheduler.submit(key, request)
         clock = scheduler.clock
@@ -144,24 +148,29 @@ class ServiceState:
             scheduler.schedule_departure(key, at=clock)
         for server in failures:
             scheduler.schedule_failure(server, at=clock)
+        for server in drains:
+            scheduler.schedule_drain(server, at=clock)
         for server in recoveries:
             scheduler.schedule_recovery(server, at=clock)
         report = scheduler.run_window()
-        self.log.append(
-            {
-                "type": "window",
-                "window_index": report.window_index,
-                "arrivals": [
-                    [key, request_to_dict(request)] for key, request in arrivals
-                ],
-                "departures": departures,
-                "failures": failures,
-                "recoveries": recoveries,
-                "accepted": list(report.accepted),
-                "rejected": list(report.rejected),
-                "displaced": list(report.displaced),
-            }
-        )
+        record = {
+            "type": "window",
+            "window_index": report.window_index,
+            "arrivals": [
+                [key, request_to_dict(request)] for key, request in arrivals
+            ],
+            "departures": departures,
+            "failures": failures,
+            "recoveries": recoveries,
+            "accepted": list(report.accepted),
+            "rejected": list(report.rejected),
+            "displaced": list(report.displaced),
+        }
+        if drains:
+            # Only stamped when present, so logs from drain-free
+            # sessions stay byte-identical to earlier releases.
+            record["drains"] = drains
+        self.log.append(record)
         self.epoch += 1
         get_registry().gauge("service.state.epoch", self.epoch)
         return report
@@ -279,6 +288,7 @@ def replay_admission_log(
                 departures=record.get("departures", ()),
                 failures=record.get("failures", ()),
                 recoveries=record.get("recoveries", ()),
+                drains=record.get("drains", ()),
             )
         elif kind == "reoptimize":
             replayed.apply_reoptimization(

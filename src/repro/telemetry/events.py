@@ -112,6 +112,7 @@ class WindowClosed(TelemetryEvent):
     displaced: int
     failures: int
     recoveries: int
+    drains: int = 0
 
 
 @dataclass(frozen=True)

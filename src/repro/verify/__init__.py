@@ -15,6 +15,10 @@ way.  This package is that guarantee, in three layers:
 * :mod:`repro.verify.metamorphic` + :mod:`repro.verify.fuzzer` —
   transformation laws with provable consequences, driven over seeded
   random scenarios (``python -m repro verify --fuzz N``);
+* :mod:`repro.verify.dynamic` — stream-level metamorphic laws over the
+  dynamic scenario registry: batch-permutation evaluation equivalence,
+  integral time-shift invariance, drain-then-fail equivalence
+  (``python -m repro verify --scenario NAME``);
 * :mod:`repro.verify.parallel` — serial-vs-parallel byte-identity of
   the execution engine's repair fan-out and chunked evaluation
   (``python -m repro verify --check-parallel 1,2,4``);
@@ -40,6 +44,14 @@ from repro.verify.anytime import (
     AnytimeMismatch,
     AnytimeReport,
     check_anytime_conformance,
+)
+from repro.verify.dynamic import (
+    DYNAMIC_LAWS,
+    DrainFailEquivalenceLaw,
+    DynamicReport,
+    TimeShiftLaw,
+    WindowPermutationLaw,
+    check_dynamic_laws,
 )
 from repro.verify.fuzzer import FuzzConfig, FuzzFailure, FuzzReport, run_fuzz
 from repro.verify.invariants import (
@@ -104,6 +116,13 @@ __all__ = [
     "DuplicateRequestIdempotenceLaw",
     "LawViolation",
     "run_laws",
+    # dynamic (stream-level) laws
+    "DYNAMIC_LAWS",
+    "DrainFailEquivalenceLaw",
+    "DynamicReport",
+    "TimeShiftLaw",
+    "WindowPermutationLaw",
+    "check_dynamic_laws",
     # fuzzing
     "FuzzConfig",
     "FuzzFailure",

@@ -69,6 +69,12 @@ class FuzzConfig:
     perturb:
         Fault-injection ``(term, delta)`` forwarded to the oracle
         (self-test: the campaign must then fail).
+    dynamic_scenarios:
+        Registered dynamic scenario names (``--scenario NAME``, see
+        :mod:`repro.workloads.scenarios`).  When non-empty, each fuzz
+        iteration also compiles one of them (cycled, at an
+        iteration-derived seed) and checks the dynamic metamorphic
+        laws of :mod:`repro.verify.dynamic` against its stream.
     """
 
     scenarios: int = 20
@@ -80,6 +86,7 @@ class FuzzConfig:
         default=_default_allocator
     )
     perturb: tuple[str, float] | None = None
+    dynamic_scenarios: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -90,7 +97,7 @@ class FuzzFailure:
     seed: int
     servers: int
     vms: int
-    stage: str  #: "oracle", "invariants" or "metamorphic"
+    stage: str  #: "oracle", "invariants", "metamorphic" or "dynamic"
     message: str
 
     def __str__(self) -> str:
@@ -109,6 +116,7 @@ class FuzzReport:
     oracle_checks: int = 0
     invariant_checks: int = 0
     law_checks: int = 0
+    dynamic_checks: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -118,11 +126,17 @@ class FuzzReport:
 
     def format(self) -> str:
         """Campaign summary plus every failure's diagnosis."""
+        dynamic = (
+            f"{self.dynamic_checks} dynamic-law checks, "
+            if self.dynamic_checks
+            else ""
+        )
         lines = [
             f"verify: {self.scenarios_run} scenario(s), "
             f"{self.oracle_checks} oracle checks, "
             f"{self.invariant_checks} invariant checks, "
             f"{self.law_checks} metamorphic checks, "
+            f"{dynamic}"
             f"{len(self.failures)} failure(s)"
         ]
         lines.extend(str(f) for f in self.failures)
@@ -252,6 +266,23 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
                 "metamorphic",
                 "\n".join(str(v) for v in law_violations),
             )
+
+        # 4. Optional dynamic stage: compile one registered scenario at
+        # an iteration-derived seed and check the stream-level laws.
+        if config.dynamic_scenarios:
+            from repro.verify.dynamic import check_dynamic_laws
+
+            name = config.dynamic_scenarios[
+                index % len(config.dynamic_scenarios)
+            ]
+            dynamic_report = check_dynamic_laws(
+                name,
+                seed=int(rng.integers(2**31)),
+                allocator_factory=config.allocator_factory,
+            )
+            report.dynamic_checks += dynamic_report.checks
+            if not dynamic_report.ok:
+                fail("dynamic", dynamic_report.format())
 
         report.scenarios_run += 1
         registry.count("verify.fuzz.scenarios")

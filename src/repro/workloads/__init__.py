@@ -10,10 +10,21 @@ classes and scaled to a target *tightness* (fraction of estate capacity
 demanded), and affinity/anti-affinity rules sampled per request.
 
 :mod:`repro.workloads.profiles` pins the named size sweeps used by the
-figure benches.
+figure benches, and :mod:`repro.workloads.scenarios` is the registry of
+named *dynamic* scenarios — seeded churn/traffic/failure event streams
+replayable through the time-window scheduler (docs/SCENARIOS.md).
 """
 
 from repro.workloads.generator import Scenario, ScenarioGenerator, ScenarioSpec
+from repro.workloads.scenarios import (
+    CompiledScenario,
+    DynamicScenarioSpec,
+    ScenarioResult,
+    compile_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.workloads.traces import Trace, TraceGenerator, TraceSpec
 from repro.workloads.profiles import (
     FIG7_SIZES,
@@ -26,6 +37,13 @@ __all__ = [
     "Scenario",
     "ScenarioGenerator",
     "ScenarioSpec",
+    "CompiledScenario",
+    "DynamicScenarioSpec",
+    "ScenarioResult",
+    "compile_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     "Trace",
     "TraceGenerator",
     "TraceSpec",

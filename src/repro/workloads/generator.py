@@ -31,7 +31,7 @@ from repro.model.attributes import DEFAULT_ATTRIBUTES, AttributeSchema
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import PlacementGroup, Request
 from repro.types import PlacementRule, SeedLike
-from repro.utils.rng import as_generator
+from repro.utils.rng import derive_sequence, root_sequence
 
 __all__ = ["ScenarioSpec", "Scenario", "ScenarioGenerator"]
 
@@ -104,12 +104,33 @@ class Scenario:
         return len(self.requests)
 
 
+#: Stream coordinates below each instance's sub-root.  Every stochastic
+#: axis of a scenario draws from its own :func:`derive_sequence` child,
+#: so toggling one axis (e.g. ``affinity_probability=0``) cannot shift
+#: the draws of an unrelated one (the estate, the demand matrix, ...).
+_STREAM_INFRA = 0
+_STREAM_SIZES = 1
+_STREAM_DEMAND = 2
+_STREAM_ATTRS = 3
+_STREAM_GROUPS = 4
+
+
 class ScenarioGenerator:
-    """Seeded factory for :class:`Scenario` instances."""
+    """Seeded factory for :class:`Scenario` instances.
+
+    Each generated instance derives a sub-root at its generation index,
+    and every stochastic axis (estate, request sizes, demand, QoS/cost
+    attributes, placement groups) draws from its own child stream below
+    that sub-root — so scenario *i* is identical across runs, and
+    changing one axis's parameters leaves the other axes' draws
+    untouched (regression-tested in
+    ``tests/unit/test_generator_streams.py``).
+    """
 
     def __init__(self, spec: ScenarioSpec, seed: SeedLike = None) -> None:
         self.spec = spec
-        self._rng = as_generator(seed)
+        self._root = root_sequence(seed)
+        self._index = 0
 
     # ------------------------------------------------------------------
     def _make_infrastructure(self, rng: np.random.Generator) -> Infrastructure:
@@ -216,17 +237,22 @@ class ScenarioGenerator:
         return tuple(pruned)
 
     def _make_requests(
-        self, rng: np.random.Generator, infrastructure: Infrastructure
+        self,
+        rng_sizes: np.random.Generator,
+        rng_demand: np.random.Generator,
+        rng_attrs: np.random.Generator,
+        rng_groups: np.random.Generator,
+        infrastructure: Infrastructure,
     ) -> list[Request]:
         spec = self.spec
         h = spec.schema.h
-        sizes = self._partition_vms(rng)
+        sizes = self._partition_vms(rng_sizes)
         total_vms = sum(sizes)
 
-        flavours = rng.choice(
+        flavours = rng_demand.choice(
             len(_FLAVOURS), size=total_vms, p=_FLAVOUR_WEIGHTS
         )
-        demand = _FLAVOURS[flavours][:, :h] * rng.uniform(
+        demand = _FLAVOURS[flavours][:, :h] * rng_demand.uniform(
             0.8, 1.2, size=(total_vms, h)
         )
         # Scale the whole window to the requested tightness, keeping any
@@ -257,14 +283,18 @@ class ScenarioGenerator:
             block = demand[offset : offset + size]
             offset += size
             groups = self._sample_groups(
-                rng, block, infrastructure.g, infrastructure.m, server_reference
+                rng_groups,
+                block,
+                infrastructure.g,
+                infrastructure.m,
+                server_reference,
             )
             requests.append(
                 Request(
                     demand=block,
-                    qos_guarantee=rng.uniform(0.85, 0.99, size=size),
-                    downtime_cost=rng.uniform(1.0, 10.0, size=size),
-                    migration_cost=rng.uniform(0.5, 5.0, size=size),
+                    qos_guarantee=rng_attrs.uniform(0.85, 0.99, size=size),
+                    downtime_cost=rng_attrs.uniform(1.0, 10.0, size=size),
+                    migration_cost=rng_attrs.uniform(0.5, 5.0, size=size),
                     groups=groups,
                     schema=spec.schema,
                     name=f"req{ridx}",
@@ -273,11 +303,24 @@ class ScenarioGenerator:
         return requests
 
     # ------------------------------------------------------------------
+    def _stream(self, base: np.random.SeedSequence, axis: int) -> np.random.Generator:
+        """The generator of one stochastic axis of one instance."""
+        return np.random.default_rng(derive_sequence(base, axis))
+
     def generate(self) -> Scenario:
         """Produce the next scenario from this generator's stream."""
-        rng = self._rng
-        infrastructure = self._make_infrastructure(rng)
-        requests = self._make_requests(rng, infrastructure)
+        base = derive_sequence(self._root, self._index)
+        self._index += 1
+        infrastructure = self._make_infrastructure(
+            self._stream(base, _STREAM_INFRA)
+        )
+        requests = self._make_requests(
+            self._stream(base, _STREAM_SIZES),
+            self._stream(base, _STREAM_DEMAND),
+            self._stream(base, _STREAM_ATTRS),
+            self._stream(base, _STREAM_GROUPS),
+            infrastructure,
+        )
         return Scenario(
             infrastructure=infrastructure, requests=requests, spec=self.spec
         )

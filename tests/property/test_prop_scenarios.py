@@ -1,0 +1,127 @@
+"""Property tests: the dynamic scenario universe is deterministic.
+
+Two families of guarantees (docs/SCENARIOS.md):
+
+* **byte identity per seed** — compiling and running any registered
+  scenario twice at the same seed yields the identical event stream,
+  the identical metrics and the identical final scheduler ledger;
+* **stream/schedule separation** — parameters that only shape how the
+  scheduler *batches* the stream (``window_length``,
+  ``reoptimize_every``) cannot move the event fingerprint, and per-axis
+  RNG streams keep unrelated axes (e.g. arrivals vs failures) stable
+  when one knob changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.round_robin import RoundRobinAllocator
+from repro.workloads.scenarios import (
+    compile_scenario,
+    get_scenario,
+    scenario_names,
+)
+
+ALL_SCENARIOS = scenario_names()
+
+
+def _run(name: str, seed: int):
+    compiled = compile_scenario(name, seed=seed)
+    allocator = RoundRobinAllocator()
+    try:
+        return compiled, compiled.run(allocator)
+    finally:
+        allocator.close()
+
+
+class TestByteIdentityPerSeed:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_registry_compiles_and_runs_identically(self, name):
+        first_compiled, first = _run(name, seed=3)
+        second_compiled, second = _run(name, seed=3)
+        # The event stream is identical record for record...
+        assert first_compiled.events_payload() == second_compiled.events_payload()
+        assert first_compiled.fingerprint() == second_compiled.fingerprint()
+        # ...and so is everything the scheduler did with it
+        # (execution_time is wall-clock, the one non-deterministic field).
+        assert dataclasses.replace(
+            first.metrics, execution_time=0.0
+        ) == dataclasses.replace(second.metrics, execution_time=0.0)
+        assert first.ledger_fingerprint == second.ledger_fingerprint
+        assert len(first.reports) == len(second.reports)
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_scenario_produces_work(self, name):
+        compiled, result = _run(name, seed=3)
+        assert len(compiled) > 0
+        assert result.metrics.windows >= 1
+        assert result.metrics.accepted + result.metrics.rejected > 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_compile_is_pure_in_seed(self, seed):
+        one = compile_scenario("steady_churn", seed=seed)
+        two = compile_scenario("steady_churn", seed=seed)
+        assert one.event_fingerprint() == two.event_fingerprint()
+        assert one.fingerprint() == two.fingerprint()
+
+    def test_different_seeds_differ(self):
+        fingerprints = {
+            compile_scenario("steady_churn", seed=s).event_fingerprint()
+            for s in range(6)
+        }
+        assert len(fingerprints) == 6
+
+
+class TestStreamScheduleSeparation:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        window_length=st.sampled_from([0.25, 0.5, 2.0]),
+        reoptimize_every=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_event_fingerprint_ignores_batching_knobs(
+        self, seed, window_length, reoptimize_every
+    ):
+        spec = get_scenario("steady_churn")
+        base = compile_scenario(spec, seed=seed)
+        rebatched = compile_scenario(
+            dataclasses.replace(
+                spec,
+                window_length=window_length,
+                reoptimize_every=reoptimize_every,
+            ),
+            seed=seed,
+        )
+        assert base.event_fingerprint() == rebatched.event_fingerprint()
+
+    def test_failure_knob_cannot_shift_arrivals(self):
+        spec = get_scenario("steady_churn")
+        quiet = compile_scenario(spec, seed=11)
+        stormy = compile_scenario(
+            dataclasses.replace(spec, failure_rate=1.5), seed=11
+        )
+        arrivals = [
+            r for r in quiet.events_payload() if r["type"] == "arrival"
+        ]
+        stormy_arrivals = [
+            r for r in stormy.events_payload() if r["type"] == "arrival"
+        ]
+        assert arrivals == stormy_arrivals
+        assert stormy.failures and not quiet.failures
+
+    def test_drain_knob_cannot_shift_failures(self):
+        spec = get_scenario("failure_storm")
+        plain = compile_scenario(spec, seed=11)
+        draining = compile_scenario(
+            dataclasses.replace(spec, drain_count=2), seed=11
+        )
+        assert [
+            (e.time, e.server) for e in plain.failures
+        ] == [(e.time, e.server) for e in draining.failures]
+        assert len(draining.drains) == 2 and not plain.drains

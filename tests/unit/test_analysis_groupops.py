@@ -71,7 +71,7 @@ class TestFragmentation:
         spec = ScenarioSpec(
             servers=16, datacenters=2, vms=40, tightness=0.45, heterogeneity=0.0
         )
-        scenario = ScenarioGenerator(spec, seed=8).generate()
+        scenario = ScenarioGenerator(spec, seed=0).generate()
         merged, _ = Request.concatenate(scenario.requests)
         packed = BestFitAllocator().allocate(
             scenario.infrastructure, scenario.requests

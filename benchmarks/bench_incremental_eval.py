@@ -25,7 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
-from benchmarks.conftest import full_sweep_enabled, scenario_for
+from benchmarks.conftest import bench_environment, full_sweep_enabled, scenario_for
 from repro.engine import CompiledProblem
 from repro.model.request import Request
 
@@ -112,6 +112,7 @@ def test_incremental_eval_throughput():
         "parity_checked": len(moves),
         "parity_mismatches": mismatches,
         "full_size": full,
+        "environment": bench_environment(),
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 

@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from benchmarks.conftest import full_sweep_enabled, scenario_for
+from benchmarks.conftest import bench_environment, full_sweep_enabled, scenario_for
 from repro.engine import CompiledProblem, ParallelEngine
 from repro.model.request import Request
 from repro.tabu.repair import TabuRepair
@@ -91,6 +91,7 @@ def test_parallel_repair_scaling():
             }
         )
 
+    gate_enforced = full and cpu_count >= 4
     record = {
         "servers": servers,
         "vms": vms,
@@ -98,13 +99,25 @@ def test_parallel_repair_scaling():
         "cpu_count": cpu_count,
         "serial_seconds": round(serial_elapsed, 4),
         "worker_curve": curve,
+        "speedup_gate": {
+            "enforced": gate_enforced,
+            "floor_at_4_workers": SPEEDUP_FLOOR_AT_4,
+            "reason": None
+            if gate_enforced
+            else (
+                f"cpu_count={cpu_count} < 4"
+                if cpu_count < 4
+                else "smoke size (REPRO_BENCH_FULL unset)"
+            ),
+        },
         "full_size": full,
+        "environment": bench_environment(),
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
     assert mismatches == 0, f"{mismatches} worker counts diverged from serial bytes"
 
-    if full and cpu_count >= 4:
+    if gate_enforced:
         at_4 = next(p for p in curve if p["workers"] == 4)
         assert at_4["speedup"] >= SPEEDUP_FLOOR_AT_4, (
             f"repair fan-out only {at_4['speedup']:.1f}x at 4 workers "

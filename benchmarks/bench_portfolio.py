@@ -31,7 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
-from benchmarks.conftest import full_sweep_enabled, scenario_for
+from benchmarks.conftest import bench_environment, full_sweep_enabled, scenario_for
 from repro import NSGAConfig, NSGA3TabuAllocator
 from repro.ea.hypervolume import (
     hypervolume,
@@ -157,6 +157,7 @@ def test_portfolio_vs_solo_at_equal_deadlines():
                 "seed": 7,
                 "members": "nsga3_tabu+cp+tabu",
                 "hv_floor_fraction": HV_FLOOR_FRACTION,
+                "environment": bench_environment(),
                 "deadlines": report,
                 "full_size": full,
             },

@@ -30,6 +30,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from benchmarks.conftest import bench_environment
 from repro.service import LoadGenerator, ServiceApp, ServiceConfig
 from repro.verify import check_service_conformance
 from repro.workloads.generator import ScenarioSpec
@@ -141,6 +142,7 @@ def test_service_load() -> None:
         record["latency_p50"] = load["latency_p50"]
         record["latency_p99"] = load["latency_p99"]
         record["throughput_rps"] = load["throughput_rps"]
+        record["environment"] = bench_environment()
         RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
         print(f"\nwrote {RESULT_PATH}")
         print(

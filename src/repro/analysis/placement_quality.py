@@ -17,6 +17,7 @@ from repro.model.placement import UNPLACED
 from repro.model.request import Request
 from repro.objectives.qos import loads_from_usage
 from repro.types import FloatArray, IntArray
+from repro.utils.scatter import scatter_rows
 
 __all__ = [
     "datacenter_utilization",
@@ -36,10 +37,8 @@ def _usage(
         raise DimensionError(
             f"demand rows {demand.shape[0]} != genome length {assignment.shape[0]}"
         )
-    usage = np.zeros((infrastructure.m, infrastructure.h))
     mask = assignment != UNPLACED
-    np.add.at(usage, assignment[mask], demand[mask])
-    return usage
+    return scatter_rows(assignment[mask], demand[mask], infrastructure.m)
 
 
 def datacenter_utilization(
@@ -60,13 +59,9 @@ def datacenter_utilization(
     """
     usage = _usage(assignment, infrastructure, demand)
     g = infrastructure.g
-    dc_usage = np.zeros((g, infrastructure.h))
-    dc_capacity = np.zeros((g, infrastructure.h))
-    np.add.at(dc_usage, infrastructure.server_datacenter, usage)
-    np.add.at(
-        dc_capacity,
-        infrastructure.server_datacenter,
-        infrastructure.effective_capacity,
+    dc_usage = scatter_rows(infrastructure.server_datacenter, usage, g)
+    dc_capacity = scatter_rows(
+        infrastructure.server_datacenter, infrastructure.effective_capacity, g
     )
     safe = np.where(dc_capacity > 0, dc_capacity, 1.0)
     utilization = dc_usage / safe

@@ -487,6 +487,13 @@ def cmd_verify(args) -> int:
         print()
         print(parallel_report.format())
         ok = ok and parallel_report.ok
+    if args.check_kernels:
+        from repro.verify import check_kernel_conformance
+
+        kernels_report = check_kernel_conformance(seed=args.seed)
+        print()
+        print(kernels_report.format())
+        ok = ok and kernels_report.ok
     if args.check_resume:
         resume_report = check_resume_determinism(seed=args.seed)
         print()
@@ -602,6 +609,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the intra-run parallel engine "
         "(0 = serial, the default; results are byte-identical either "
         "way — see docs/PARALLEL.md)",
+    )
+    common.add_argument(
+        "--kernel",
+        default=None,
+        choices=("reference", "numpy", "numba", "auto"),
+        help="evaluation kernel backend (default: $REPRO_KERNEL or "
+        "'auto' = numba when importable, else numpy; all backends are "
+        "bitwise-conformant — see docs/PERFORMANCE.md)",
     )
     common.add_argument(
         "--include-cp-hybrid",
@@ -764,6 +779,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "a `repro serve` checkpoint directory (docs/SERVICE.md)",
             )
             p.add_argument(
+                "--check-kernels",
+                action="store_true",
+                help="also prove bitwise conformance of every kernel "
+                "backend (reference/numpy/numba) on fuzzed and "
+                "edge-case instances (docs/PERFORMANCE.md)",
+            )
+            p.add_argument(
                 "--check-anytime",
                 action="store_true",
                 help="also prove the anytime portfolio contract: "
@@ -877,6 +899,10 @@ def main(argv: list[str] | None = None) -> int:
         atomic_write_json(
             directory / "manifest.json", "campaign_manifest", {"argv": argv}
         )
+    if getattr(args, "kernel", None):
+        from repro.engine.kernels import set_kernel
+
+        set_kernel(args.kernel)
     sink = telemetry.configure(getattr(args, "telemetry", None))
     try:
         from repro.runtime.signals import GracefulShutdown

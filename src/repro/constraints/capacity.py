@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constraints.base import Constraint
+from repro.engine.kernels import active_kernel
 from repro.errors import DimensionError
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
@@ -72,6 +73,26 @@ class CapacityConstraint(Constraint):
         self.limit: FloatArray = effective
         self.tolerance = float(tolerance)
         self._slack = self.tolerance * np.maximum(1.0, np.abs(self.limit))
+        # Precomputed overflow threshold: the exact floats every
+        # ``limit + _slack`` comparison used to compute per call.
+        self._threshold = self.limit + self._slack
+
+    def retarget(self, limit: FloatArray) -> None:
+        """Swap the limit matrix, keeping slack/threshold consistent.
+
+        The precomputed ``_threshold`` must never go stale relative to
+        ``limit`` — wrappers that repurpose the capacity machinery with
+        a different right-hand side (:class:`LoadCapConstraint`) go
+        through here instead of assigning ``limit`` directly.
+        """
+        limit = np.ascontiguousarray(limit, dtype=np.float64)
+        if limit.shape != self.limit.shape:
+            raise DimensionError(
+                f"limit shape {limit.shape}, expected {self.limit.shape}"
+            )
+        self.limit = limit
+        self._slack = self.tolerance * np.maximum(1.0, np.abs(limit))
+        self._threshold = self.limit + self._slack
 
     # ------------------------------------------------------------------
     @property
@@ -82,15 +103,15 @@ class CapacityConstraint(Constraint):
     def server_usage(self, assignment: IntArray) -> FloatArray:
         """Usage matrix (m, h) induced by one genome (unplaced genes skipped)."""
         assignment = np.asarray(assignment, dtype=np.int64)
-        usage = np.zeros_like(self.limit)
         mask = assignment != UNPLACED
-        np.add.at(usage, assignment[mask], self.demand[mask])
-        return usage
+        return active_kernel().scatter_usage(
+            assignment[mask], self.demand[mask], self.limit.shape[0]
+        )
 
     def overloaded_cells(self, assignment: IntArray) -> BoolArray:
         """Boolean (m, h) mask of capacity cells exceeded by the genome."""
         usage = self.server_usage(assignment)
-        return usage > self.limit + self._slack
+        return usage > self._threshold
 
     def overloaded_servers(self, assignment: IntArray) -> IntArray:
         """Indices of servers with at least one exceeded attribute.
@@ -110,9 +131,9 @@ class CapacityConstraint(Constraint):
     def batch_usage(self, population: IntArray) -> FloatArray:
         """Usage tensor (pop, m, h) for a whole population.
 
-        Implemented with per-attribute ``bincount`` over flattened
-        (individual, server) indices — one pass over the population per
-        attribute, no Python-level loop over individuals.
+        Dispatches to the active kernel backend (flat-index bincount
+        tiles on the numpy backend, ``prange`` scatter on numba) — no
+        Python-level loop over individuals on any backend.
         """
         population = np.asarray(population, dtype=np.int64)
         pop, n = population.shape
@@ -120,23 +141,14 @@ class CapacityConstraint(Constraint):
             raise DimensionError(
                 f"population genome length {n} != request size {self.n}"
             )
-        m, h = self.limit.shape
-        mask = population != UNPLACED
-        # Route unplaced genes to a scratch bucket at index m.
-        servers = np.where(mask, population, m)
-        flat = (np.arange(pop)[:, None] * (m + 1) + servers).ravel()
-        usage = np.empty((pop, m, h))
-        for l in range(h):
-            weights = np.broadcast_to(self.demand[:, l], (pop, n)).ravel()
-            counts = np.bincount(flat, weights=weights, minlength=pop * (m + 1))
-            usage[:, :, l] = counts.reshape(pop, m + 1)[:, :m]
-        return usage
+        return active_kernel().batch_usage(
+            population, self.demand, self.limit.shape[0]
+        )
 
     def batch_violations(self, population: IntArray) -> IntArray:
         """Vectorized :meth:`violations` over a population matrix."""
         usage = self.batch_usage(population)
-        over = usage > self.limit[None, :, :] + self._slack[None, :, :]
-        return over.sum(axis=(1, 2)).astype(np.int64)
+        return active_kernel().batch_over_counts(usage, self._threshold)
 
     # ------------------------------------------------------------------
     def fits(self, assignment: IntArray, resource: int, server: int) -> bool:
@@ -150,4 +162,4 @@ class CapacityConstraint(Constraint):
         others = (assignment == server)
         others[resource] = False
         load = self.demand[others].sum(axis=0) + self.demand[resource]
-        return bool(np.all(load <= self.limit[server] + self._slack[server]))
+        return bool(np.all(load <= self._threshold[server]))

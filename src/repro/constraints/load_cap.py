@@ -51,8 +51,7 @@ class LoadCapConstraint(Constraint):
             knee_limit = knee_limit - base_usage
         # Reuse the capacity machinery with the knee as the limit.
         self._inner = CapacityConstraint(infrastructure, demand)
-        self._inner.limit = knee_limit
-        self._inner._slack = 1e-9 * np.maximum(1.0, np.abs(knee_limit))
+        self._inner.retarget(knee_limit)
 
     def violations(self, assignment: IntArray) -> int:
         """Count (server, resource) cells exceeding the strict load cap."""

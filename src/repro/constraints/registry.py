@@ -97,6 +97,28 @@ class ConstraintSet:
             self.load_cap = LoadCapConstraint(
                 self.infrastructure, self.request.demand, base_usage=self.base_usage
             )
+        self._group_layout = None
+        self._group_layout_built = False
+
+    # ------------------------------------------------------------------
+    def group_layout(self):
+        """Flattened group-index layout for the vectorized kernel backends.
+
+        Built lazily and cached (the groups are immutable per instance).
+        ``None`` when any group constraint is not one of the four
+        built-in rules — those score through their own
+        ``batch_violations`` instead.
+        """
+        if not self._group_layout_built:
+            from repro.engine.kernels import GroupLayout
+
+            self._group_layout = GroupLayout.build(
+                self.group_constraints,
+                self.infrastructure.server_datacenter,
+                self.infrastructure.m,
+            )
+            self._group_layout_built = True
+        return self._group_layout
 
     # ------------------------------------------------------------------
     @property

@@ -23,6 +23,7 @@ from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
 from repro.model.request import Request
 from repro.types import AlgorithmKind, FloatArray, IntArray
+from repro.utils.scatter import scatter_rows
 
 __all__ = ["CPAllocator"]
 
@@ -103,7 +104,9 @@ class _CPAnytimeRun(AnytimeRun):
         if solution.found:
             local = solution.assignment
             self._assignment[self._offset : self._offset + request.n] = local
-            np.add.at(self._usage, local, request.demand)
+            self._usage += scatter_rows(
+                local, request.demand, self._usage.shape[0]
+            )
         elif solution.proved:
             self._proved_rejections += 1
         else:

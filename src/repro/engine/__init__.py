@@ -1,6 +1,6 @@
 """repro.engine — compiled problem instances and incremental evaluation.
 
-The evaluation core under the allocation stack, in three parts:
+The evaluation core under the allocation stack, in four parts:
 
 * :class:`~repro.engine.compiled.CompiledProblem` — an immutable,
   once-per-(infrastructure, request) compilation of the instance facts
@@ -16,30 +16,24 @@ The evaluation core under the allocation stack, in three parts:
 * :class:`~repro.engine.parallel.ParallelEngine` — a persistent
   worker pool that publishes compilations into shared memory and fans
   tabu repair / population evaluation out across processes with
-  byte-identical results (see ``docs/PARALLEL.md``).
+  byte-identical results (see ``docs/PARALLEL.md``);
+* :mod:`repro.engine.kernels` — the pluggable kernel layer behind the
+  evaluation/repair hot path: a reference backend (the original numpy
+  code paths), a vectorized flat-bincount numpy backend and an
+  optional numba backend, selected by ``REPRO_KERNEL`` / ``--kernel``
+  and held conformant by ``verify --check-kernels``
+  (see ``docs/PERFORMANCE.md``).
 
 See ``docs/ENGINE.md`` for the compile/evaluate split and the
 delta-scoring contract.
+
+Exports resolve lazily (PEP 562): constraint and objective modules
+import :mod:`repro.engine.kernels` at module load, so an eager
+``from repro.engine.cache import ...`` here would close an import
+cycle (kernels → engine → cache → compiled → constraints → kernels).
 """
 
-from repro.engine.cache import ProblemCache
-from repro.engine.compiled import CompiledProblem
-from repro.engine.incremental import (
-    IncrementalEvaluator,
-    MoveScore,
-    ParityDelta,
-    ParityError,
-    ParityReport,
-)
-from repro.engine.parallel import (
-    ChunkedPopulationEvaluator,
-    InstanceSpec,
-    ParallelEngine,
-    RepairParams,
-    SharedInstance,
-    attach_instance,
-    publish_instance,
-)
+from typing import Any
 
 __all__ = [
     "CompiledProblem",
@@ -57,3 +51,37 @@ __all__ = [
     "publish_instance",
     "attach_instance",
 ]
+
+#: Lazy export table: attribute name -> defining submodule.
+_EXPORTS = {
+    "CompiledProblem": "repro.engine.compiled",
+    "ProblemCache": "repro.engine.cache",
+    "IncrementalEvaluator": "repro.engine.incremental",
+    "MoveScore": "repro.engine.incremental",
+    "ParityDelta": "repro.engine.incremental",
+    "ParityError": "repro.engine.incremental",
+    "ParityReport": "repro.engine.incremental",
+    "ParallelEngine": "repro.engine.parallel",
+    "ChunkedPopulationEvaluator": "repro.engine.parallel",
+    "RepairParams": "repro.engine.parallel",
+    "InstanceSpec": "repro.engine.parallel",
+    "SharedInstance": "repro.engine.parallel",
+    "publish_instance": "repro.engine.parallel",
+    "attach_instance": "repro.engine.parallel",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.engine' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

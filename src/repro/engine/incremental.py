@@ -27,12 +27,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.kernels import active_kernel
 from repro.errors import ValidationError
 from repro.model.placement import UNPLACED
 from repro.objectives.aggregate import aggregate_scalar
 from repro.objectives.qos import loads_from_usage, qos_from_load
 from repro.telemetry import get_registry
 from repro.types import FloatArray, IntArray, PlacementRule
+from repro.utils.scatter import scatter_rows, scatter_values
 
 __all__ = [
     "CONSTRAINT_TERMS",
@@ -254,11 +256,18 @@ class IncrementalEvaluator:
         # by an order of magnitude.  Thresholds are precomputed with the
         # same float ops the vectorized path uses, so the comparisons —
         # and therefore the violation counts — stay bit-exact.
-        self._lps_list = (self._limit + self._slack).tolist()
+        self._lps = self._limit + self._slack
+        self._lps_list = self._lps.tolist()
         if qos_strict:
-            self._kps_list = (self._knee_limit + self._knee_slack).tolist()
+            self._kps = self._knee_limit + self._knee_slack
+            self._kps_list = self._kps.tolist()
         else:
+            self._kps = None
             self._kps_list = None
+        # Optional compiled row-wise over-count (numba backend only):
+        # same scalar comparisons as the list path below, captured at
+        # construction time from the then-active kernel.
+        self._row_over = getattr(active_kernel(), "row_over", None)
         self._cap_list = np.asarray(infra.capacity, dtype=np.float64).tolist()
         self._ml_list = np.asarray(infra.max_load, dtype=np.float64).tolist()
         self._mq_list = np.asarray(infra.max_qos, dtype=np.float64).tolist()
@@ -314,8 +323,7 @@ class IncrementalEvaluator:
         mask = self.assignment != UNPLACED
         placed = self.assignment[mask]
 
-        self._usage = np.zeros_like(self._limit)
-        np.add.at(self._usage, placed, compiled.demand[mask])
+        self._usage = scatter_rows(placed, compiled.demand[mask], m)
         self._over = np.count_nonzero(
             self._usage > self._limit + self._slack, axis=1
         ).astype(np.int64)
@@ -345,10 +353,11 @@ class IncrementalEvaluator:
 
         # Downtime: price every server once, vectorized.
         server_q = self._min_qos(self._usage)  # (m,)
-        self._server_penalty = np.zeros(m)
         if placed.size:
             pen = self._penalties(server_q[placed], np.flatnonzero(mask))
-            np.add.at(self._server_penalty, placed, pen)
+            self._server_penalty = scatter_values(placed, pen, m)
+        else:
+            self._server_penalty = np.zeros(m)
         self._downtime_total = float(self._server_penalty.sum())
 
         # Usage/operating cost.
@@ -560,13 +569,21 @@ class IncrementalEvaluator:
         # thresholds were precomputed with the vectorized path's exact
         # float ops, so these scalar comparisons are bit-identical.
         for s, row_list in row_lists.items():
-            thresholds = self._lps_list[s]
-            over = sum(v > t for v, t in zip(row_list, thresholds))
+            if self._row_over is not None:
+                over = int(self._row_over(d.rows[s], self._lps[s]))
+            else:
+                thresholds = self._lps_list[s]
+                over = sum(v > t for v, t in zip(row_list, thresholds))
             d.over[s] = over
             d.cap_total += over - int(self._over[s])
             if self.qos_strict:
-                knee_thresholds = self._kps_list[s]
-                knee = sum(v > t for v, t in zip(row_list, knee_thresholds))
+                if self._row_over is not None:
+                    knee = int(self._row_over(d.rows[s], self._kps[s]))
+                else:
+                    knee_thresholds = self._kps_list[s]
+                    knee = sum(
+                        v > t for v, t in zip(row_list, knee_thresholds)
+                    )
                 d.knee[s] = knee
                 d.knee_total += knee - int(self._knee_over[s])
 

@@ -36,6 +36,7 @@ results.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import os
 import secrets
@@ -48,6 +49,7 @@ from typing import Any
 import numpy as np
 
 from repro.engine.compiled import CompiledProblem
+from repro.engine.kernels import active_kernel, use_kernel
 from repro.errors import ValidationError
 from repro.telemetry import MetricsRegistry, get_registry, use_registry
 from repro.types import FloatArray, IntArray, PlacementRule
@@ -284,10 +286,39 @@ class _AttachedInstance:
 _ATTACHED: dict[str, _AttachedInstance] = {}
 
 
-def attach_instance(spec: InstanceSpec) -> _AttachedInstance:
-    """The worker-side cache lookup (exposed for in-process tests)."""
-    attached = _ATTACHED.get(spec.segment)
+class _AttachMiss(Exception):
+    """A spec-ref dispatch named a segment this worker never attached.
+
+    Picklable (plain string arg), so ``future.result()`` re-raises it
+    in the parent, which resubmits the chunk with the full
+    :class:`InstanceSpec` — the one-time cost the ref dispatch was
+    skipping.  See :meth:`ParallelEngine.repair_rows`.
+    """
+
+    @property
+    def segment(self) -> str:
+        return self.args[0]
+
+
+def attach_instance(spec: InstanceSpec | str) -> _AttachedInstance:
+    """The worker-side cache lookup (exposed for in-process tests).
+
+    ``spec`` may be a full :class:`InstanceSpec` or a bare segment name
+    (a *spec-ref*): after the first batch over a segment, the parent
+    ships only the name — a few dozen bytes instead of the group
+    structure and layout tables — and the worker resolves it from its
+    attachment cache.  A ref that misses (fresh worker, restarted pool)
+    raises :class:`_AttachMiss` so the parent can retry with the spec.
+    """
     registry = get_registry()
+    if isinstance(spec, str):
+        attached = _ATTACHED.get(spec)
+        if attached is None:
+            raise _AttachMiss(spec)
+        registry.count("engine.parallel.specref.hits")
+        registry.count("engine.parallel.attach.hits")
+        return attached
+    attached = _ATTACHED.get(spec.segment)
     if attached is not None:
         registry.count("engine.parallel.attach.hits")
         return attached
@@ -300,12 +331,19 @@ def attach_instance(spec: InstanceSpec) -> _AttachedInstance:
 @dataclass(frozen=True)
 class RepairParams:
     """The tabu-repair knobs a worker needs to mirror the parent's
-    :class:`~repro.tabu.repair.TabuRepair` exactly."""
+    :class:`~repro.tabu.repair.TabuRepair` exactly.
+
+    ``kernel`` pins the worker's evaluation backend to the parent's
+    (``None`` leaves the worker on its own default).  All backends are
+    bitwise-conformant, so this is about performance parity — a numba
+    parent should not fan out to numpy workers — not correctness.
+    """
 
     max_rounds: int = 4
     tenure: int = 64
     order: str = "first"
     allow_worsening_moves: bool = True
+    kernel: str | None = None
 
     def cache_key(self) -> tuple:
         """Hashable identity for the worker-side repairer cache."""
@@ -314,11 +352,17 @@ class RepairParams:
             self.tenure,
             self.order,
             self.allow_worsening_moves,
+            self.kernel,
         )
 
 
+def _kernel_scope(kernel: str | None):
+    """The worker-side kernel context for one task (no-op when unset)."""
+    return use_kernel(kernel) if kernel else contextlib.nullcontext()
+
+
 def _repair_task(
-    spec: InstanceSpec,
+    spec: InstanceSpec | str,
     params: RepairParams,
     genomes: IntArray,
     rows: IntArray,
@@ -330,28 +374,39 @@ def _repair_task(
     Returns the repaired rows, the task's metric snapshot (merged into
     the parent registry) and the busy seconds spent (utilization)."""
     stopwatch = Stopwatch().start()
-    with use_registry(MetricsRegistry()) as registry:
+    with use_registry(MetricsRegistry()) as registry, _kernel_scope(params.kernel):
         attached = attach_instance(spec)
         repairer = attached.repairer(params)
         repaired = np.empty_like(genomes)
+        # The parent dispatches only batch-screened infeasible rows, so
+        # the whole chunk's usage is scored as one kernel tile and the
+        # per-genome feasibility pre-check is skipped — the same fast
+        # path the serial loop takes (bitwise-identical results).
+        tile = repairer._usage_tile(genomes, np.arange(genomes.shape[0]))
         for local, row in enumerate(rows):
             rng = np.random.default_rng(
                 derive_sequence(root, batch_index, int(row))
             )
-            repaired[local] = repairer.repair_genome(genomes[local], rng=rng)
+            repaired[local] = repairer.repair_genome(
+                genomes[local],
+                rng=rng,
+                usage=None if tile is None else tile[local],
+                known_infeasible=True,
+            )
         snapshot = registry.snapshot()
     stopwatch.stop()
     return repaired, snapshot, stopwatch.elapsed
 
 
 def _evaluate_task(
-    spec: InstanceSpec,
+    spec: InstanceSpec | str,
     binding: tuple[tuple[str, Any], ...],
     population: IntArray,
+    kernel: str | None = None,
 ):
     """Evaluate a population chunk inside a worker process."""
     stopwatch = Stopwatch().start()
-    with use_registry(MetricsRegistry()) as registry:
+    with use_registry(MetricsRegistry()) as registry, _kernel_scope(kernel):
         attached = attach_instance(spec)
         result = attached.evaluator(binding).evaluate_population(population)
         snapshot = registry.snapshot()
@@ -376,6 +431,12 @@ class ParallelEngine:
         ``n_workers * tasks_per_worker`` tasks, so a straggler cannot
         idle the rest of the pool while tasks stay big enough to
         amortize dispatch overhead.
+    min_chunk_rows:
+        Floor on rows per task: a dispatch never cuts chunks smaller
+        than this, preferring fewer, larger tasks when the row count is
+        modest.  With the batched kernel tile a worker scores its whole
+        chunk in one vectorized pass, so larger chunks amortize both
+        the IPC round-trip *and* the tile setup.
     min_dispatch_rows:
         Below this many infeasible rows the caller should stay serial
         (dispatch overhead would dominate).
@@ -396,6 +457,7 @@ class ParallelEngine:
         n_workers: int,
         *,
         tasks_per_worker: int = 2,
+        min_chunk_rows: int = 8,
         min_dispatch_rows: int = 2,
         start_method: str | None = None,
     ) -> None:
@@ -405,8 +467,13 @@ class ParallelEngine:
             raise ValidationError(
                 f"tasks_per_worker must be >= 1, got {tasks_per_worker}"
             )
+        if min_chunk_rows < 1:
+            raise ValidationError(
+                f"min_chunk_rows must be >= 1, got {min_chunk_rows}"
+            )
         self.n_workers = int(n_workers)
         self.tasks_per_worker = int(tasks_per_worker)
+        self.min_chunk_rows = int(min_chunk_rows)
         self.min_dispatch_rows = int(min_dispatch_rows)
         if start_method is None:
             start_method = (
@@ -417,6 +484,9 @@ class ParallelEngine:
         self._broken = False
         self._closed = False
         self._published: dict[tuple, SharedInstance] = {}
+        #: Segments whose full spec completed at least one batch — later
+        #: batches ship only the segment name (spec-ref dispatch).
+        self._spec_sent: set[str] = set()
         get_registry().gauge("engine.parallel.workers", self.n_workers)
 
     # ------------------------------------------------------------------
@@ -480,8 +550,24 @@ class ParallelEngine:
         return shared.spec
 
     # ------------------------------------------------------------------
+    def _payload(self, spec: InstanceSpec) -> InstanceSpec | str:
+        """Full spec on a segment's first batch, bare name afterwards.
+
+        The spec carries the layout table and the whole group structure
+        — kilobytes pickled into *every* task of *every* generation
+        before this existed.  Once one batch over a segment completes,
+        every pool worker has very likely attached it (tasks outnumber
+        workers), so later batches ship the ~60-byte name and workers
+        resolve it from their attachment cache; the parent repairs the
+        rare miss by resubmitting that chunk with the spec.
+        """
+        return spec.segment if spec.segment in self._spec_sent else spec
+
     def _chunks(self, count: int) -> list[np.ndarray]:
         n_tasks = min(count, self.n_workers * self.tasks_per_worker)
+        # Fewer, larger chunks: never cut below min_chunk_rows per task
+        # (one task total when the whole dispatch is smaller than that).
+        n_tasks = min(n_tasks, max(1, count // self.min_chunk_rows))
         return np.array_split(np.arange(count), n_tasks)
 
     def repair_rows(
@@ -513,12 +599,13 @@ class ParallelEngine:
         rows = np.asarray(rows, dtype=np.int64)
         registry = get_registry()
         chunks = self._chunks(rows.size)
+        payload = self._payload(spec)
         stopwatch = Stopwatch().start()
         try:
             futures = [
                 pool.submit(
                     _repair_task,
-                    spec,
+                    payload,
                     params,
                     genomes[chunk],
                     rows[chunk],
@@ -529,8 +616,25 @@ class ParallelEngine:
             ]
             parts: list[np.ndarray] = []
             busy = 0.0
-            for future in futures:  # submission order: deterministic merge
-                repaired, snapshot, elapsed = future.result()
+            # Futures are consumed in submission order, so the merged
+            # result is deterministic regardless of completion order.
+            for chunk, future in zip(chunks, futures):
+                try:
+                    repaired, snapshot, elapsed = future.result()
+                except _AttachMiss:
+                    # A spec-ref landed on a worker that never saw the
+                    # full spec (fresh/respawned worker): resubmit just
+                    # this chunk with the spec.  Rare by construction.
+                    registry.count("engine.parallel.specref.misses")
+                    repaired, snapshot, elapsed = pool.submit(
+                        _repair_task,
+                        spec,
+                        params,
+                        genomes[chunk],
+                        rows[chunk],
+                        root,
+                        batch_index,
+                    ).result()
                 parts.append(repaired)
                 registry.merge(snapshot)
                 registry.observe("engine.parallel.task_seconds", elapsed)
@@ -539,10 +643,12 @@ class ParallelEngine:
             self._fallback("dispatch")
             return None
         stopwatch.stop()
+        self._spec_sent.add(spec.segment)
         registry.count("engine.parallel.batches")
         registry.count("engine.parallel.tasks", len(chunks))
         registry.count("engine.parallel.rows", rows.size)
         registry.observe("engine.parallel.batch_rows", rows.size)
+        registry.observe("engine.parallel.chunk_rows", rows.size / len(chunks))
         if stopwatch.elapsed > 0:
             registry.gauge(
                 "engine.parallel.worker_utilization",
@@ -581,15 +687,25 @@ class ParallelEngine:
         binding = tuple(sorted(evaluator_kwargs.items()))
         registry = get_registry()
         chunks = self._chunks(population.shape[0])
+        payload = self._payload(spec)
+        kernel = active_kernel().name
         try:
             futures = [
-                pool.submit(_evaluate_task, spec, binding, population[chunk])
+                pool.submit(
+                    _evaluate_task, payload, binding, population[chunk], kernel
+                )
                 for chunk in chunks
             ]
             objectives: list[np.ndarray] = []
             violations: list[np.ndarray] = []
-            for future in futures:
-                obj, vio, snapshot, elapsed = future.result()
+            for chunk, future in zip(chunks, futures):
+                try:
+                    obj, vio, snapshot, elapsed = future.result()
+                except _AttachMiss:
+                    registry.count("engine.parallel.specref.misses")
+                    obj, vio, snapshot, elapsed = pool.submit(
+                        _evaluate_task, spec, binding, population[chunk], kernel
+                    ).result()
                 objectives.append(obj)
                 violations.append(vio)
                 registry.merge(snapshot)
@@ -597,6 +713,7 @@ class ParallelEngine:
         except Exception:
             self._fallback("dispatch")
             return None
+        self._spec_sent.add(spec.segment)
         registry.count("engine.parallel.eval_batches")
         registry.count("engine.parallel.eval_rows", population.shape[0])
         return EvaluationResult(

@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import EncodingError
 from repro.model.infrastructure import Infrastructure
 from repro.types import BoolArray, FloatArray, IntArray
+from repro.utils.scatter import scatter_rows
 
 __all__ = ["Placement", "UNPLACED"]
 
@@ -138,10 +139,8 @@ class Placement:
                 f"demand rows ({demand.shape[0]}) != placement size ({self.n})"
             )
         infra = self.infrastructure
-        usage = np.zeros((infra.m, demand.shape[1]))
         mask = self.placed_mask
-        np.add.at(usage, self.assignment[mask], demand[mask])
-        return usage
+        return scatter_rows(self.assignment[mask], demand[mask], infra.m)
 
     def loads(self, demand: FloatArray) -> FloatArray:
         """Per-server, per-attribute load L_jl of Eq. 25 (usage / capacity).

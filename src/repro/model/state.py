@@ -18,6 +18,7 @@ from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED, Placement
 from repro.model.request import Request
 from repro.types import FloatArray, IntArray
+from repro.utils.scatter import scatter_rows
 
 __all__ = ["PlatformState"]
 
@@ -91,8 +92,8 @@ class PlatformState:
         except KeyError:
             raise SchedulerError(f"request key {key!r} is not committed") from None
         mask = assignment != UNPLACED
-        np.add.at(
-            self.committed_usage, assignment[mask], -demand[mask]
+        self.committed_usage -= scatter_rows(
+            assignment[mask], demand[mask], self.committed_usage.shape[0]
         )
         # Guard against float drift pulling usage microscopically negative.
         np.clip(self.committed_usage, 0.0, None, out=self.committed_usage)
@@ -124,6 +125,8 @@ class PlatformState:
         expect = np.zeros_like(self.committed_usage)
         for assignment, demand in self._residents.values():
             mask = assignment != UNPLACED
-            np.add.at(expect, assignment[mask], demand[mask])
+            expect += scatter_rows(
+                assignment[mask], demand[mask], expect.shape[0]
+            )
         if not np.allclose(expect, self.committed_usage, atol=1e-9):
             raise SchedulerError("committed usage diverged from resident ledger")

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.kernels import active_kernel
 from repro.errors import DimensionError, ValidationError
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
 from repro.model.request import Request
-from repro.objectives.qos import loads_from_usage, qos_from_load
 from repro.types import FloatArray, IntArray
 
 __all__ = ["DowntimeCost"]
@@ -78,9 +78,9 @@ class DowntimeCost:
     def _server_min_qos(self, usage: FloatArray) -> FloatArray:
         """Worst-attribute QoS per server for a usage array (..., m, h)."""
         infra = self.infrastructure
-        load = loads_from_usage(usage + self.base_usage, infra.capacity)
-        qos = qos_from_load(load, infra.max_load, infra.max_qos)
-        return qos.min(axis=-1)
+        return active_kernel().server_min_qos(
+            usage, self.base_usage, infra.capacity, infra.max_load, infra.max_qos
+        )
 
     def _penalties(self, qos_per_resource: FloatArray) -> FloatArray:
         """Map delivered QoS per resource to monetary penalties."""
@@ -96,9 +96,10 @@ class DowntimeCost:
         """Downtime cost of one genome."""
         assignment = np.asarray(assignment, dtype=np.int64)
         infra = self.infrastructure
-        usage = np.zeros((infra.m, infra.h))
         mask = assignment != UNPLACED
-        np.add.at(usage, assignment[mask], self.request.demand[mask])
+        usage = active_kernel().scatter_usage(
+            assignment[mask], self.request.demand[mask], infra.m
+        )
         return self.value_from_usage(assignment, usage)
 
     def value_from_usage(self, assignment: IntArray, usage: FloatArray) -> float:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.kernels import active_kernel
 from repro.errors import DimensionError
 from repro.model.infrastructure import Infrastructure
 from repro.model.placement import UNPLACED
@@ -121,8 +122,9 @@ class EnergyCost:
         mask = assignment != UNPLACED
         placed = assignment[mask]
         if usage is None:
-            usage = np.zeros_like(self._base)
-            np.add.at(usage, placed, self._demand[mask])
+            usage = active_kernel().scatter_usage(
+                placed, self._demand[mask], self._base.shape[0]
+            )
         active = np.zeros(self.infrastructure.m, dtype=bool)
         active[placed] = True
         load = ((usage + self._base) * self._inv_capacity).mean(axis=1)
@@ -142,18 +144,10 @@ class EnergyCost:
             )
         pop, n = population.shape
         m = self.infrastructure.m
-        mask = population != UNPLACED
-        servers = np.where(mask, population, m)
-        flat = (np.arange(pop)[:, None] * (m + 1) + servers).ravel()
-        counts = np.bincount(flat, minlength=pop * (m + 1))
-        active = counts.reshape(pop, m + 1)[:, :m] > 0
+        kernel = active_kernel()
+        active = kernel.batch_active(population, m)
         if usage is None:
-            h = self._base.shape[1]
-            usage = np.empty((pop, m, h))
-            for l in range(h):
-                weights = np.broadcast_to(self._demand[:, l], (pop, n)).ravel()
-                cell = np.bincount(flat, weights=weights, minlength=pop * (m + 1))
-                usage[:, :, l] = cell.reshape(pop, m + 1)[:, :m]
+            usage = kernel.batch_usage(population, self._demand, m)
         load = ((usage + self._base[None, :, :])
                 * self._inv_capacity[None, :, :]).mean(axis=2)
         per_server = self.idle_power[None, :] + self.dynamic_power[None, :] * load

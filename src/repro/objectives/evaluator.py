@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constraints.registry import ConstraintSet
+from repro.engine.kernels import active_kernel
 from repro.model.infrastructure import Infrastructure
 from repro.model.request import Request
 from repro.objectives.aggregate import ObjectiveVector, aggregate_scalar
@@ -166,9 +167,7 @@ class PopulationEvaluator:
         self._evaluations += 1
         capacity = self.constraints.capacity
         usage = capacity.server_usage(assignment)
-        violations = int(
-            np.count_nonzero(usage > capacity.limit + capacity._slack)
-        )
+        violations = int(np.count_nonzero(usage > capacity._threshold))
         for constraint in self.constraints.group_constraints:
             violations += constraint.violations(assignment)
         if self.constraints.load_cap is not None:
@@ -196,15 +195,24 @@ class PopulationEvaluator:
         pop = population.shape[0]
         self._evaluations += pop
 
-        usage = self.constraints.capacity.batch_usage(population)
-        over = (
-            usage
-            > self.constraints.capacity.limit[None, :, :]
-            + self.constraints.capacity._slack[None, :, :]
+        kernel = active_kernel()
+        capacity = self.constraints.capacity
+        usage = capacity.batch_usage(population)
+        violations = kernel.batch_over_counts(usage, capacity._threshold)
+        layout = (
+            self.constraints.group_layout()
+            if kernel.vectorized_groups and self.constraints.group_constraints
+            else None
         )
-        violations = over.sum(axis=(1, 2)).astype(np.int64)
-        for constraint in self.constraints.group_constraints:
-            violations += constraint.batch_violations(population)
+        if layout is not None:
+            # One pass over every group of the whole population
+            # (integer arithmetic — identical counts to the per-group
+            # loop below, which stays for third-party constraints and
+            # the reference backend).
+            violations += kernel.batch_group_violations(population, layout)
+        else:
+            for constraint in self.constraints.group_constraints:
+                violations += constraint.batch_violations(population)
         if self.constraints.load_cap is not None:
             violations += self.constraints.load_cap.batch_violations(population)
         if self.constraints.assignment is not None:

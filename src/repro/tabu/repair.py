@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from repro.constraints.registry import ConstraintSet
+from repro.engine.kernels import active_kernel
 from repro.engine.parallel import RepairParams
 from repro.errors import ValidationError
 from repro.model.infrastructure import Infrastructure
@@ -176,7 +177,7 @@ class TabuRepair:
 
     def _overloaded_servers(self, usage: FloatArray) -> IntArray:
         capacity = self.constraints.capacity
-        over = usage > capacity.limit + capacity._slack
+        over = usage > capacity._threshold
         return np.flatnonzero(over.any(axis=1)).astype(np.int64)
 
     def _faulty_vms(self, assignment: IntArray, usage: FloatArray) -> IntArray:
@@ -200,7 +201,7 @@ class TabuRepair:
         now fits, or split a group that just converged)."""
         server = int(assignment[vm])
         capacity = self.constraints.capacity
-        if np.any(usage[server] > capacity.limit[server] + capacity._slack[server]):
+        if np.any(usage[server] > capacity._threshold[server]):
             return True
         for gi in self.finder._groups_of_vm[vm]:
             if self._group_violations(assignment, self.request.groups[gi]) > 0:
@@ -212,9 +213,7 @@ class TabuRepair:
     ) -> tuple[int, float]:
         """(violations, usage cost) — the lexicographic ideal-point key."""
         capacity = self.constraints.capacity
-        violations = int(
-            np.count_nonzero(usage > capacity.limit + capacity._slack)
-        )
+        violations = int(np.count_nonzero(usage > capacity._threshold))
         for group in self.request.groups:
             violations += self._group_violations(assignment, group)
         cost = float(self._cost_rate[assignment[assignment >= 0]].sum())
@@ -251,24 +250,42 @@ class TabuRepair:
         return int(idx[np.argmin(added[idx])])
 
     # ------------------------------------------------------------------
-    def repair_genome(self, assignment: IntArray, rng=None) -> IntArray:
+    def repair_genome(
+        self,
+        assignment: IntArray,
+        rng=None,
+        *,
+        usage: FloatArray | None = None,
+        known_infeasible: bool = False,
+    ) -> IntArray:
         """Repair one genome (Fig. 5).  Returns a new array.
 
         ``rng`` overrides the repairer's own stream; population repair
         passes a per-individual generator derived from the root seed so
         the walk is a pure function of (seed, batch, row) — identical
         whether this runs in-process or in a pool worker.
+
+        ``usage`` optionally supplies this genome's (m, h) usage matrix
+        (one row of the batch tile population repair scores up front);
+        it must equal ``capacity.server_usage(assignment)`` bitwise,
+        which rows of :meth:`CapacityConstraint.batch_usage` do by the
+        kernel conformance contract.  ``known_infeasible`` skips the
+        redundant feasibility pre-check for callers that already
+        batch-screened the population.
         """
         if rng is None:
             rng = self._rng
         assignment = np.asarray(assignment, dtype=np.int64).copy()
-        if self.constraints.is_feasible(assignment):
+        if not known_infeasible and self.constraints.is_feasible(assignment):
             return assignment
 
         self.repaired_individuals += 1
         moves_before = self.moves_performed
         tabu = TabuList(tenure=self.tenure)
-        usage = self.constraints.capacity.server_usage(assignment)
+        if usage is None:
+            usage = self.constraints.capacity.server_usage(assignment)
+        else:
+            usage = np.array(usage, dtype=np.float64)  # owned, mutated below
         best = assignment.copy()
         best_score = self._score(assignment, usage)
         stall_rounds = 0
@@ -379,6 +396,7 @@ class TabuRepair:
                     tenure=self.tenure,
                     order=self.order,
                     allow_worsening_moves=self.allow_worsening_moves,
+                    kernel=active_kernel().name,
                 ),
                 population[rows],
                 rows,
@@ -392,11 +410,41 @@ class TabuRepair:
             # Engine degraded: fall through to the serial loop, which
             # derives the very same per-row streams — same bytes out.
 
-        for i in rows:
+        tile = self._usage_tile(population, rows)
+        for local, i in enumerate(rows):
             if self._deadline_passed():
                 break  # remaining rows pass through unrepaired
             rng = np.random.default_rng(
                 derive_sequence(self._root_seq, batch_index, int(i))
             )
-            repaired[i] = self.repair_genome(population[i], rng=rng)
+            repaired[i] = self.repair_genome(
+                population[i],
+                rng=rng,
+                usage=None if tile is None else tile[local],
+                known_infeasible=True,
+            )
         return repaired
+
+    def _usage_tile(
+        self, population: IntArray, rows: IntArray
+    ) -> FloatArray | None:
+        """Score the whole infeasible batch's usage as one kernel tile.
+
+        Rows of the tile are bitwise-equal to per-genome
+        ``server_usage`` scatters (kernel conformance contract), so
+        handing ``tile[local]`` to :meth:`repair_genome` changes no
+        result — it only replaces ``rows`` individual scatter-adds
+        with one vectorized pass.  Falls back to per-row scatters when
+        the tile would be unreasonably large.
+        """
+        if rows.size == 0 or self._deadline_passed():
+            return None
+        capacity = self.constraints.capacity
+        m, h = capacity.limit.shape
+        if rows.size * m * h > 8_000_000:  # ~64 MB of float64: not worth it
+            return None
+        tile = capacity.batch_usage(population[rows])
+        registry = get_registry()
+        registry.count("engine.kernel.repair_tiles")
+        registry.count("engine.kernel.repair_tile_rows", int(rows.size))
+        return tile

@@ -19,6 +19,9 @@ way.  This package is that guarantee, in three layers:
   dynamic scenario registry: batch-permutation evaluation equivalence,
   integral time-shift invariance, drain-then-fail equivalence
   (``python -m repro verify --scenario NAME``);
+* :mod:`repro.verify.kernels` — bitwise conformance of every kernel
+  backend (reference/numpy/numba) on fuzzed and edge-case instances
+  (``python -m repro verify --check-kernels``);
 * :mod:`repro.verify.parallel` — serial-vs-parallel byte-identity of
   the execution engine's repair fan-out and chunked evaluation
   (``python -m repro verify --check-parallel 1,2,4``);
@@ -54,6 +57,11 @@ from repro.verify.dynamic import (
     check_dynamic_laws,
 )
 from repro.verify.fuzzer import FuzzConfig, FuzzFailure, FuzzReport, run_fuzz
+from repro.verify.kernels import (
+    KernelConformanceReport,
+    KernelMismatch,
+    check_kernel_conformance,
+)
 from repro.verify.invariants import (
     CheckContext,
     InvariantReport,
@@ -128,6 +136,10 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "run_fuzz",
+    # kernel-backend conformance
+    "KernelConformanceReport",
+    "KernelMismatch",
+    "check_kernel_conformance",
     # parallel determinism
     "ParallelDeterminismReport",
     "ParallelMismatch",

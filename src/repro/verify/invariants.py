@@ -214,6 +214,8 @@ def _capacity_respected(ctx: CheckContext) -> list[InvariantViolation]:
         return []
     usage = np.zeros((ctx.infrastructure.m, ctx.infrastructure.h))
     mask = assignment != UNPLACED
+    # Deliberately np.add.at, NOT repro.utils.scatter: the invariant
+    # catalog stays independent of the code paths it audits.
     np.add.at(usage, assignment[mask], demand[mask])
     limit = ctx.infrastructure.effective_capacity.copy()
     if ctx.base_usage is not None:
@@ -343,6 +345,7 @@ def _energy_bound(ctx: CheckContext) -> list[InvariantViolation]:
     # model is capped by every host running flat out.
     usage = np.zeros((ctx.infrastructure.m, ctx.infrastructure.h))
     mask = assignment != UNPLACED
+    # Independent reference scatter (see the capacity invariant above).
     np.add.at(usage, assignment[mask], ctx.merged.demand[mask])
     base = (
         np.asarray(ctx.base_usage, dtype=np.float64)

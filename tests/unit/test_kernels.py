@@ -1,0 +1,251 @@
+"""Unit tests for the kernel-backend layer (registry, edge cases, tiles).
+
+The heavy cross-backend sweep lives in
+:func:`repro.verify.check_kernel_conformance`; these tests pin down the
+registry semantics (selection, env var, scoped override), the
+structural edge cases vectorized code most often gets wrong — empty
+populations, all-UNPLACED rows, single-server estates, int32 genomes —
+and the satellite contracts around them (capacity retargeting, the
+repair usage tile, batch_violations overrides).
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints.base import Constraint
+from repro.constraints.capacity import CapacityConstraint
+from repro.constraints.load_cap import LoadCapConstraint
+from repro.engine import CompiledProblem
+from repro.engine.kernels import (
+    HAVE_NUMBA,
+    KERNEL_ENV_VAR,
+    GroupLayout,
+    available_kernels,
+    get_kernel,
+    resolve_kernel_name,
+    set_kernel,
+    use_kernel,
+)
+from repro.errors import DimensionError, ValidationError
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.verify import check_kernel_conformance
+from repro.workloads.generator import ScenarioGenerator, ScenarioSpec
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Every test leaves the process-wide backend as it found it."""
+    with use_kernel(None):
+        yield
+
+
+def _compiled(servers=6, datacenters=2, vms=14, seed=5, tightness=0.8):
+    spec = ScenarioSpec(
+        servers=servers, datacenters=datacenters, vms=vms, tightness=tightness
+    )
+    scenario = ScenarioGenerator(spec, seed=seed).generate()
+    merged, _ = Request.concatenate(list(scenario.requests))
+    return CompiledProblem.compile(scenario.infrastructure, merged)
+
+
+class TestRegistry:
+    def test_reference_and_numpy_always_available(self):
+        names = available_kernels()
+        assert "reference" in names and "numpy" in names
+
+    def test_auto_resolution(self):
+        expected = "numba" if HAVE_NUMBA else "numpy"
+        assert resolve_kernel_name("auto") == expected
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        assert resolve_kernel_name(None) == "reference"
+        monkeypatch.delenv(KERNEL_ENV_VAR)
+        assert resolve_kernel_name(None) == resolve_kernel_name("auto")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            resolve_kernel_name("fortran")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba present on this host")
+    def test_numba_without_install_is_an_error_not_a_fallback(self):
+        with pytest.raises(ValidationError):
+            resolve_kernel_name("numba")
+
+    def test_get_kernel_is_singleton_per_backend(self):
+        assert get_kernel("numpy") is get_kernel("numpy")
+        assert get_kernel("numpy") is not get_kernel("reference")
+
+    def test_use_kernel_restores_previous(self):
+        before = set_kernel("numpy")
+        with use_kernel("reference") as kernel:
+            assert kernel.name == "reference"
+        from repro.engine.kernels import active_kernel
+
+        assert active_kernel() is before
+
+
+class TestEdgeCases:
+    """Satellite: structural edge cases byte-identical across backends."""
+
+    def _snapshots(self, compiled, population):
+        evaluator = compiled.evaluator(include_assignment_constraint=True)
+        out = {}
+        for name in available_kernels():
+            with use_kernel(name):
+                result = evaluator.evaluate_population(population)
+                out[name] = (
+                    result.objectives.tobytes(),
+                    result.violations.tobytes(),
+                )
+        return out
+
+    def _assert_identical(self, snapshots):
+        reference = snapshots.pop("reference")
+        for name, got in snapshots.items():
+            assert got == reference, f"{name} diverged from reference"
+
+    def test_empty_population(self):
+        compiled = _compiled()
+        population = np.empty((0, compiled.request.n), dtype=np.int64)
+        self._assert_identical(self._snapshots(compiled, population))
+
+    def test_all_unplaced_rows(self):
+        compiled = _compiled()
+        population = np.full((4, compiled.request.n), UNPLACED, dtype=np.int64)
+        self._assert_identical(self._snapshots(compiled, population))
+
+    def test_single_server_estate(self):
+        compiled = _compiled(servers=1, datacenters=1, vms=6, tightness=0.6)
+        rng = np.random.default_rng(0)
+        population = rng.integers(0, 1, size=(5, compiled.request.n))
+        population[0, 0] = UNPLACED
+        self._assert_identical(self._snapshots(compiled, population))
+
+    def test_int32_genomes(self):
+        compiled = _compiled()
+        rng = np.random.default_rng(1)
+        population = rng.integers(
+            0, compiled.m, size=(6, compiled.request.n)
+        ).astype(np.int32)
+        self._assert_identical(self._snapshots(compiled, population))
+
+    def test_conformance_checker_clean(self):
+        report = check_kernel_conformance(seed=7, instances=1)
+        assert report.ok, report.format()
+        assert report.comparisons > 0
+
+
+class TestBatchViolationOverrides:
+    """Satellite: no built-in constraint rides the Python-loop fallback."""
+
+    def test_every_builtin_constraint_overrides_the_fallback(self):
+        compiled = _compiled(servers=8, vms=20, seed=9)
+        constraints = compiled.constraint_set(include_assignment=True)
+        checked = [constraints.capacity, *constraints.group_constraints]
+        if constraints.assignment is not None:
+            checked.append(constraints.assignment)
+        checked.append(
+            LoadCapConstraint(compiled.infrastructure, compiled.request.demand)
+        )
+        assert len(checked) >= 3
+        for constraint in checked:
+            assert (
+                type(constraint).batch_violations
+                is not Constraint.batch_violations
+            ), f"{type(constraint).__name__} uses the generic fallback"
+
+    def test_overrides_match_the_fallback_rowwise(self):
+        compiled = _compiled(servers=8, vms=20, seed=9)
+        constraints = compiled.constraint_set(include_assignment=True)
+        rng = np.random.default_rng(3)
+        population = rng.integers(0, compiled.m, size=(12, compiled.request.n))
+        population[rng.random(population.shape) < 0.05] = UNPLACED
+        for constraint in (constraints.capacity, *constraints.group_constraints):
+            vectorized = constraint.batch_violations(population)
+            fallback = Constraint.batch_violations(constraint, population)
+            assert vectorized.tolist() == fallback.tolist(), constraint.name
+
+
+class TestCapacityRetarget:
+    def test_retarget_keeps_threshold_consistent(self, small_infra, small_request):
+        constraint = CapacityConstraint(small_infra, small_request.demand)
+        new_limit = constraint.limit * 0.5
+        constraint.retarget(new_limit)
+        expected_slack = constraint.tolerance * np.maximum(
+            1.0, np.abs(new_limit)
+        )
+        assert np.array_equal(constraint.limit, new_limit)
+        assert np.array_equal(constraint._slack, expected_slack)
+        assert np.array_equal(
+            constraint._threshold, new_limit + expected_slack
+        )
+
+    def test_retarget_rejects_wrong_shape(self, small_infra, small_request):
+        constraint = CapacityConstraint(small_infra, small_request.demand)
+        with pytest.raises(DimensionError):
+            constraint.retarget(np.zeros((1, 1)))
+
+    def test_load_cap_threshold_tracks_knee(self, small_infra, small_request):
+        cap = LoadCapConstraint(small_infra, small_request.demand)
+        inner = cap._inner
+        assert np.array_equal(
+            inner._threshold, inner.limit + inner._slack
+        )
+
+
+class TestGroupLayout:
+    def test_layout_skips_groupless_instances(self):
+        spec = ScenarioSpec(servers=4, datacenters=1, vms=6, affinity_probability=0.0)
+        scenario = ScenarioGenerator(spec, seed=2).generate()
+        merged, _ = Request.concatenate(list(scenario.requests))
+        compiled = CompiledProblem.compile(scenario.infrastructure, merged)
+        constraints = compiled.constraint_set()
+        if not constraints.group_constraints:
+            assert constraints.group_layout() is None
+
+    def test_layout_counts_match_constraints(self):
+        compiled = _compiled(servers=8, vms=24, seed=11)
+        constraints = compiled.constraint_set()
+        layout = constraints.group_layout()
+        if layout is None:
+            pytest.skip("fuzzed instance drew no placement groups")
+        assert isinstance(layout, GroupLayout)
+        assert layout.n_groups == len(constraints.group_constraints)
+
+
+class TestRepairUsageTile:
+    def test_tile_rows_match_per_genome_usage(self):
+        from repro.tabu.repair import TabuRepair
+
+        compiled = _compiled(servers=6, vms=16, seed=13, tightness=0.95)
+        repairer = TabuRepair(
+            compiled.infrastructure,
+            compiled.request,
+            seed=0,
+            compiled=compiled,
+        )
+        rng = np.random.default_rng(4)
+        population = rng.integers(
+            0, compiled.m, size=(7, compiled.request.n), dtype=np.int64
+        )
+        rows = np.arange(population.shape[0])
+        tile = repairer._usage_tile(population, rows)
+        assert tile is not None
+        for local, i in enumerate(rows):
+            expected = repairer.constraints.capacity.server_usage(population[i])
+            assert tile[local].tobytes() == expected.tobytes()
+
+    def test_tile_skipped_for_empty_rows(self):
+        from repro.tabu.repair import TabuRepair
+
+        compiled = _compiled()
+        repairer = TabuRepair(
+            compiled.infrastructure,
+            compiled.request,
+            seed=0,
+            compiled=compiled,
+        )
+        population = np.zeros((3, compiled.request.n), dtype=np.int64)
+        assert repairer._usage_tile(population, np.array([], dtype=np.int64)) is None

@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     python -m repro generate --servers 40 --vms 80 --out scenario.json
     python -m repro scenario list
     python -m repro scenario run steady_churn --seed 7
+    python -m repro compare  --providers 3 --prefer 'provider_cost>qos'
+    python -m repro scenario run steady_churn --providers 3
+    python -m repro verify   --check-market
     python -m repro verify   --fuzz 20 --seed 7
     python -m repro verify   --fuzz 10 --scenario maintenance_drain
     python -m repro serve    --port 8080 --checkpoint-dir state/
@@ -249,34 +252,49 @@ def cmd_compare(args) -> int:
             )
             return 2
         factories = {args.allocator: factories[args.allocator]}
+    providers = getattr(args, "providers", 1)
+    market = None
+    if providers > 1:
+        from repro.market import BrokeredAllocator, ProviderMarket
+
+        market = ProviderMarket.from_infrastructure(
+            scenario.infrastructure, providers
+        )
     rows = []
     for label, factory in factories.items():
-        allocator = factory()
-        try:
-            outcome = allocator.allocate(
-                scenario.infrastructure, scenario.requests
+        if market is not None:
+            brokered = BrokeredAllocator(market, factory).allocate(
+                scenario.requests
             )
-        finally:
-            allocator.close()
-        rows.append(
-            [
-                label,
-                f"{outcome.elapsed:.3f}",
-                f"{outcome.rejection_rate:.2f}",
-                outcome.violations,
-                f"{outcome.provider_cost:.1f}",
-            ]
-        )
-    print(
-        format_table(
-            ["algorithm", "time (s)", "rejection", "violations", "provider cost"],
-            rows,
-            title=(
-                f"Comparison on {spec.servers} servers / {spec.vms} VMs "
-                f"(seed {args.seed})"
-            ),
-        )
+            outcome, route = brokered.deployed.outcome, brokered.deployed.route
+        else:
+            allocator = factory()
+            try:
+                outcome = allocator.allocate(
+                    scenario.infrastructure, scenario.requests
+                )
+            finally:
+                allocator.close()
+            route = None
+        row = [
+            label,
+            f"{outcome.elapsed:.3f}",
+            f"{outcome.rejection_rate:.2f}",
+            outcome.violations,
+            f"{outcome.provider_cost:.1f}",
+        ]
+        if market is not None:
+            row.append(route)
+        rows.append(row)
+    headers = ["algorithm", "time (s)", "rejection", "violations", "provider cost"]
+    title = (
+        f"Comparison on {spec.servers} servers / {spec.vms} VMs "
+        f"(seed {args.seed})"
     )
+    if market is not None:
+        headers.append("brokered route")
+        title += f", brokered across {providers} providers"
+    print(format_table(headers, rows, title=title))
     return 0
 
 
@@ -334,6 +352,26 @@ def _parse_workers(text: str) -> tuple[int, ...]:
     return counts
 
 
+def _parse_prefer(text: str):
+    """Validate a ``crit>crit>...`` preference spec at parse time."""
+    from repro.errors import ValidationError
+    from repro.market.preferences import parse_preference
+
+    try:
+        return parse_preference(text)
+    except ValidationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _providers_count(text: str) -> int:
+    count = int(text)
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"--providers must be >= 1, got {text!r}"
+        )
+    return count
+
+
 def cmd_scenario(args) -> int:
     """Run ``python -m repro scenario list|run``."""
     from repro.workloads.scenarios import (
@@ -384,6 +422,16 @@ def cmd_scenario(args) -> int:
         )
         return 2
     compiled = compile_scenario(args.name, seed=args.seed)
+    providers = getattr(args, "providers", 1)
+    if providers > 1:
+        # Tag + price the estate across N providers; the merged
+        # infrastructure drives every window (p == 1 is byte-identical
+        # and skipped so default runs keep their ledger fingerprints).
+        from repro.market import ProviderMarket
+
+        compiled.infrastructure = ProviderMarket.from_infrastructure(
+            compiled.infrastructure, providers
+        ).compile(at=0.0).infrastructure
     allocator = factories[args.allocator]()
     try:
         result = compiled.run(allocator)
@@ -480,6 +528,13 @@ def cmd_verify(args) -> int:
         print()
         print(anytime_report.format())
         ok = ok and anytime_report.ok
+    if args.check_market:
+        from repro.verify import check_market_conformance
+
+        market_report = check_market_conformance(seed=args.seed)
+        print()
+        print(market_report.format())
+        ok = ok and market_report.ok
     if args.check_parallel is not None:
         parallel_report = check_parallel_determinism(
             args.check_parallel, seed=args.seed
@@ -651,6 +706,16 @@ def build_parser() -> argparse.ArgumentParser:
         "docs/PORTFOLIO.md)",
     )
     common.add_argument(
+        "--prefer",
+        type=_parse_prefer,
+        default=None,
+        metavar="SPEC",
+        help="ceteris-paribus preference order selecting the deployed "
+        "solution from any Pareto front, most important criterion "
+        "first (e.g. provider_cost>qos>migration; default: the "
+        "paper's ideal-point pick — docs/MARKET.md)",
+    )
+    common.add_argument(
         "--telemetry",
         default=None,
         metavar="SPEC",
@@ -786,6 +851,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "edge-case instances (docs/PERFORMANCE.md)",
             )
             p.add_argument(
+                "--check-market",
+                action="store_true",
+                help="also prove the market layer's promises: "
+                "single-provider byte-identity, brokered-front "
+                "non-domination with provider confinement, and "
+                "deterministic total preference selection "
+                "(docs/MARKET.md)",
+            )
+            p.add_argument(
                 "--check-anytime",
                 action="store_true",
                 help="also prove the anytime portfolio contract: "
@@ -808,6 +882,18 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="NAME",
                 help="run only this allocator (e.g. portfolio) instead "
                 "of the whole lineup",
+            )
+        if name in ("compare", "scenario"):
+            p.add_argument(
+                "--providers",
+                type=_providers_count,
+                default=1,
+                metavar="N",
+                help="partition the estate across N cloud providers with "
+                "default price books; compare then brokers each "
+                "allocator across them, scenario run prices the merged "
+                "estate (default 1 = the paper's single-provider model, "
+                "byte-identical — docs/MARKET.md)",
             )
         if name == "fig8":
             p.add_argument(
@@ -903,6 +989,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.kernels import set_kernel
 
         set_kernel(args.kernel)
+    if getattr(args, "prefer", None) is not None:
+        # Installed process-wide, like the kernel backend: every site
+        # that commits a single plan consults it (docs/MARKET.md).
+        from repro.market.preferences import set_preference
+
+        set_preference(args.prefer)
     sink = telemetry.configure(getattr(args, "telemetry", None))
     try:
         from repro.runtime.signals import GracefulShutdown

@@ -125,3 +125,22 @@ class ParetoArchive:
         distance = np.sqrt((((objs - ideal) / span) ** 2).sum(axis=1))
         index = int(np.argmin(distance))
         return self._genomes[index].copy(), self._objectives[index].copy()
+
+    def best(self, preference=None) -> tuple[IntArray, FloatArray] | None:
+        """The deployed-solution pick under the preference layer.
+
+        With a :class:`~repro.market.preferences.PreferenceOrder` (or,
+        when ``preference`` is ``None``, the process-wide active one),
+        the ceteris-paribus selection; otherwise exactly
+        :meth:`best_by_ideal_point` — the historical byte-identical
+        default.
+        """
+        if not self._genomes:
+            return None
+        from repro.market.preferences import active_preference
+
+        preference = preference if preference is not None else active_preference()
+        if preference is None:
+            return self.best_by_ideal_point()
+        index = preference.select(self.objectives)
+        return self._genomes[index].copy(), self._objectives[index].copy()

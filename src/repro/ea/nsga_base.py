@@ -298,10 +298,15 @@ class EngineRun:
         return self._stop_reason() is None
 
     def best_genome(self) -> IntArray:
-        """Current single-solution pick (feasible-nearest-ideal, else
-        least violating) — valid between any two steps."""
+        """Current single-solution pick — valid between any two steps.
+
+        Routed through the preference layer: the config's (or the
+        process-wide active) ceteris-paribus order when one is set,
+        else feasible-nearest-ideal; least violating as the infeasible
+        fallback either way.
+        """
         pop = self.population
-        idx = pop.best_feasible_index()
+        idx = pop.best_feasible_index(self.engine.preference_order())
         if idx is None:
             idx = pop.least_violating_index()
         return pop.genomes[idx].copy()
@@ -457,6 +462,19 @@ class NSGABase(abc.ABC):
         self.config = config or NSGAConfig()
         self.handler = handler or NoHandling()
         self.track_history = bool(track_history)
+
+    def preference_order(self):
+        """Parsed ``config.preference``, or ``None``.
+
+        ``None`` lets the selection sites fall through to the process-
+        wide active preference and, absent one, the paper's ideal-point
+        pick (see :mod:`repro.market.preferences`).
+        """
+        if self.config.preference:
+            from repro.market.preferences import parse_preference
+
+            return parse_preference(self.config.preference)
+        return None
 
     # ------------------------------------------------------------------
     # Subclass responsibilities

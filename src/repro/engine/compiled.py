@@ -77,9 +77,11 @@ class CompiledProblem:
         "m",
         "h",
         "g",
+        "p",
         "demand",
         "effective_capacity",
         "server_datacenter",
+        "server_provider",
         "operating_cost",
         "usage_cost",
         "per_resource_rate",
@@ -106,9 +108,11 @@ class CompiledProblem:
         self.h = infrastructure.h
         self.g = infrastructure.g
 
+        self.p = infrastructure.p
         self.demand: FloatArray = request.demand
         self.effective_capacity: FloatArray = infrastructure.effective_capacity
         self.server_datacenter: IntArray = infrastructure.server_datacenter
+        self.server_provider: IntArray = infrastructure.provider_of_server
         self.operating_cost: FloatArray = infrastructure.operating_cost
         self.usage_cost: FloatArray = infrastructure.usage_cost
         self.per_resource_rate: FloatArray = (
@@ -174,6 +178,11 @@ class CompiledProblem:
         ):
             _feed(digest, array)
         digest.update("|".join(infrastructure.schema.names).encode())
+        # The provider axis joins the hash only when a market actually
+        # tagged servers: the default single-provider estate keeps its
+        # pre-market fingerprint, so every cache keyed on it is stable.
+        if infrastructure.p > 1:
+            _feed(digest, infrastructure.provider_of_server)
         for group in request.groups:
             digest.update(group.rule.value.encode())
             digest.update(np.asarray(group.members, dtype=np.int64).tobytes())
@@ -189,6 +198,7 @@ class CompiledProblem:
         return (
             self.m == infrastructure.m
             and self.h == infrastructure.h
+            and self.p == infrastructure.p
             and self.n == request.n
             and len(self.group_rules) == len(request.groups)
             and all(

@@ -47,6 +47,12 @@ class Infrastructure:
         X_ijk collapses to a flat per-VM server genome.
     schema:
         Attribute schema fixing the meaning of the h columns.
+    server_provider:
+        Optional integer vector of shape (m,) mapping each server to a
+        cloud provider in [0, p) — the multi-cloud market axis
+        (``docs/MARKET.md``).  ``None`` (the default) means a single
+        provider owns the whole estate; the paper's single-datacenter
+        setting compiles byte-identically through that default.
     """
 
     capacity: FloatArray
@@ -59,6 +65,8 @@ class Infrastructure:
     schema: AttributeSchema = field(default=DEFAULT_ATTRIBUTES)
     datacenter_names: tuple[str, ...] = ()
     server_names: tuple[str, ...] = ()
+    server_provider: IntArray | None = None
+    provider_names: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         cap = np.ascontiguousarray(self.capacity, dtype=np.float64)
@@ -129,6 +137,27 @@ class Infrastructure:
         if self.server_names and len(self.server_names) != m:
             raise DimensionError(f"{len(self.server_names)} server names for m={m}")
 
+        if self.server_provider is not None:
+            sp = np.ascontiguousarray(self.server_provider, dtype=np.int64)
+            if sp.shape != (m,):
+                raise DimensionError(
+                    f"server_provider has shape {sp.shape}, expected {(m,)}"
+                )
+            if np.any(sp < 0):
+                raise ValidationError("provider ids must be >= 0")
+            p = int(sp.max()) + 1
+            if np.unique(sp).size != p:
+                raise ValidationError(
+                    "provider ids must be contiguous 0..p-1 with every id used"
+                )
+            object.__setattr__(self, "server_provider", sp)
+        else:
+            p = 1
+        if self.provider_names and len(self.provider_names) != p:
+            raise DimensionError(
+                f"{len(self.provider_names)} provider names for p={p}"
+            )
+
     # ------------------------------------------------------------------
     # Sizes (Table I notation)
     # ------------------------------------------------------------------
@@ -146,6 +175,28 @@ class Infrastructure:
     def g(self) -> int:
         """Number of datacenters."""
         return int(self.server_datacenter.max()) + 1
+
+    @property
+    def p(self) -> int:
+        """Number of cloud providers (1 unless a market tagged servers)."""
+        if self.server_provider is None:
+            return 1
+        return int(self.server_provider.max()) + 1
+
+    @property
+    def provider_of_server(self) -> IntArray:
+        """Per-server provider id, shape (m,) — all zeros by default."""
+        if self.server_provider is None:
+            return np.zeros(self.m, dtype=np.int64)
+        return self.server_provider
+
+    def servers_in_provider(self, provider: int) -> IntArray:
+        """Indices of the servers owned by ``provider``."""
+        if not (0 <= provider < self.p):
+            raise ValidationError(
+                f"provider {provider} out of range [0, {self.p})"
+            )
+        return np.flatnonzero(self.provider_of_server == provider).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Derived matrices

@@ -292,7 +292,16 @@ class PortfolioRun(AnytimeRun):
     # Anytime surface
     # ------------------------------------------------------------------
     def best_solution(self) -> IntArray:
-        """The judged pick over the pool and every member's incumbent."""
+        """The judged pick over the pool and every member's incumbent.
+
+        Feasibility dominates.  Among equally-violating candidates, an
+        active ceteris-paribus preference order ranks by its
+        lexicographic key; with none active, the historical aggregate
+        objective sum — byte-identical to the pre-market behavior.
+        """
+        from repro.market.preferences import active_preference
+
+        preference = active_preference()
         candidates: list[IntArray] = []
         pooled = self.pool.best()
         if pooled is not None:
@@ -302,7 +311,11 @@ class PortfolioRun(AnytimeRun):
         best_score = None
         for candidate in candidates:
             objectives, violations = self._judge.assess(candidate)
-            score = (int(violations), float(objectives.as_array().sum()))
+            vector = objectives.as_array()
+            if preference is not None:
+                score = (int(violations), *preference.key(vector))
+            else:
+                score = (int(violations), float(vector.sum()))
             if best_score is None or score < best_score:
                 best = candidate
                 best_score = score

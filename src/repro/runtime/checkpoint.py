@@ -80,6 +80,9 @@ _TRAJECTORY_FIELDS = (
     # The optional energy term reshapes the objective landscape, so two
     # runs differing in weight are distinct trajectories.
     "energy_weight",
+    # The preference order decides which front member a resumed run
+    # deploys; two runs differing in spec commit different solutions.
+    "preference",
 )
 
 

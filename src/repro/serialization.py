@@ -50,7 +50,7 @@ def _check_kind(data: dict, expected: str) -> None:
 # ----------------------------------------------------------------------
 def infrastructure_to_dict(infra: Infrastructure) -> dict[str, Any]:
     """Serialize every Table I provider matrix."""
-    return {
+    payload = {
         "kind": "infrastructure",
         "schema": {"names": list(infra.schema.names), "units": list(infra.schema.units)},
         "capacity": infra.capacity.tolist(),
@@ -63,6 +63,14 @@ def infrastructure_to_dict(infra: Infrastructure) -> dict[str, Any]:
         "datacenter_names": list(infra.datacenter_names),
         "server_names": list(infra.server_names),
     }
+    # The market axis joins the payload only when servers are actually
+    # tagged, so single-provider dumps stay byte-identical to pre-market
+    # output (and old dumps load unchanged).
+    if infra.p > 1:
+        payload["server_provider"] = infra.provider_of_server.tolist()
+    if infra.provider_names:
+        payload["provider_names"] = list(infra.provider_names)
+    return payload
 
 
 def infrastructure_from_dict(data: dict[str, Any]) -> Infrastructure:
@@ -83,6 +91,12 @@ def infrastructure_from_dict(data: dict[str, Any]) -> Infrastructure:
         schema=schema,
         datacenter_names=tuple(data.get("datacenter_names", ())),
         server_names=tuple(data.get("server_names", ())),
+        server_provider=(
+            np.asarray(data["server_provider"], dtype=np.int64)
+            if data.get("server_provider") is not None
+            else None
+        ),
+        provider_names=tuple(data.get("provider_names", ())),
     )
 
 

@@ -36,7 +36,12 @@ way.  This package is that guarantee, in three layers:
 * :mod:`repro.verify.anytime` — the anytime portfolio contract:
   monotone non-worsening pooled front, ``allocate()`` ≡ stepwise
   parity, seed determinism and the reoptimizer's portfolio wiring
-  (``python -m repro verify --check-anytime``).
+  (``python -m repro verify --check-anytime``);
+* :mod:`repro.verify.market` — the market layer's promises: a
+  single-provider market is byte-identical to the pre-market model,
+  brokered fronts are mutually nondominated with provider-confined
+  routes, and preference selection is deterministic, total and
+  permutation-invariant (``python -m repro verify --check-market``).
 
 Telemetry lands in the ``verify.*`` namespace (see
 ``docs/OBSERVABILITY.md``); the checker catalog, oracle semantics and
@@ -69,6 +74,11 @@ from repro.verify.invariants import (
     invariant_names,
     register_invariant,
     run_invariants,
+)
+from repro.verify.market import (
+    MarketConformanceReport,
+    MarketMismatch,
+    check_market_conformance,
 )
 from repro.verify.metamorphic import (
     ALL_LAWS,
@@ -156,4 +166,8 @@ __all__ = [
     "AnytimeMismatch",
     "AnytimeReport",
     "check_anytime_conformance",
+    # market-layer conformance
+    "MarketConformanceReport",
+    "MarketMismatch",
+    "check_market_conformance",
 ]

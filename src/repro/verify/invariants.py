@@ -116,6 +116,9 @@ class CheckContext:
         (3,) objective vector to sanity-check.
     front_objectives:
         (k, 3) matrix of a reported Pareto front.
+    brokered:
+        A :class:`~repro.market.broker.BrokeredOutcome` (enables the
+        market-layer invariants).
     """
 
     infrastructure: Infrastructure
@@ -127,6 +130,7 @@ class CheckContext:
     base_usage: np.ndarray | None = None
     objectives: np.ndarray | None = None
     front_objectives: np.ndarray | None = None
+    brokered: object | None = None
 
     def __post_init__(self) -> None:
         if self.outcome is not None:
@@ -385,6 +389,147 @@ def _pareto_front_non_domination(ctx: CheckContext) -> list[InvariantViolation]:
             )
         ]
     return []
+
+
+@register_invariant("provider_capacity_closure")
+def _provider_capacity_closure(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.assignment is None or ctx.merged is None:
+        return []
+    if ctx.infrastructure.p < 2:
+        return []  # single-provider estates have nothing extra to close
+    assignment = np.asarray(ctx.assignment, dtype=np.int64)
+    accepted = ctx.accepted_resources
+    if accepted is not None:
+        assignment = np.where(accepted, assignment, UNPLACED)
+    elif ctx.outcome is None:
+        return []
+    provider = ctx.infrastructure.provider_of_server
+    usage = np.zeros((ctx.infrastructure.m, ctx.infrastructure.h))
+    mask = assignment != UNPLACED
+    np.add.at(usage, assignment[mask], ctx.merged.demand[mask])
+    if ctx.base_usage is not None:
+        usage = usage + np.asarray(ctx.base_usage, dtype=np.float64)
+    out: list[InvariantViolation] = []
+    for k in range(ctx.infrastructure.p):
+        servers = np.flatnonzero(provider == k)
+        load = usage[servers].sum(axis=0)
+        ceiling = ctx.infrastructure.effective_capacity[servers].sum(axis=0)
+        slack = 1e-9 * np.maximum(1.0, np.abs(ceiling))
+        if np.any(load > ceiling + slack):
+            out.append(
+                InvariantViolation(
+                    "provider_capacity_closure",
+                    f"aggregate accepted load exceeds provider {k}'s "
+                    "total effective capacity",
+                    {
+                        "provider": k,
+                        "load": load.tolist(),
+                        "capacity": ceiling.tolist(),
+                    },
+                )
+            )
+    return out
+
+
+@register_invariant("preference_selection_consistency")
+def _preference_selection_consistency(
+    ctx: CheckContext,
+) -> list[InvariantViolation]:
+    if ctx.front_objectives is None:
+        return []
+    front = np.asarray(ctx.front_objectives, dtype=np.float64)
+    if front.ndim != 2 or front.shape[0] == 0:
+        return []
+    from repro.market.preferences import active_preference, select_index
+
+    preference = active_preference()
+    out: list[InvariantViolation] = []
+    index = select_index(front, preference)
+    if not 0 <= index < front.shape[0]:
+        return [
+            InvariantViolation(
+                "preference_selection_consistency",
+                f"selection index {index} outside the front of {front.shape[0]}",
+                {},
+            )
+        ]
+    if preference is None:
+        # Independent ideal-point recomputation must agree.
+        lo = front.min(axis=0)
+        span = np.where(front.max(axis=0) - lo > 0, front.max(axis=0) - lo, 1.0)
+        expected = int(
+            np.argmin(np.sqrt((((front - lo) / span) ** 2).sum(axis=1)))
+        )
+        if index != expected:
+            out.append(
+                InvariantViolation(
+                    "preference_selection_consistency",
+                    "default selection drifted from the ideal-point pick "
+                    f"({index} != {expected})",
+                    {},
+                )
+            )
+    else:
+        # The *selected vector* must be invariant under row permutation.
+        flipped = front[::-1]
+        mirrored = select_index(flipped, preference)
+        if not np.array_equal(front[index], flipped[mirrored]):
+            out.append(
+                InvariantViolation(
+                    "preference_selection_consistency",
+                    "selected objective vector changed under front "
+                    "permutation",
+                    {
+                        "original": front[index].tolist(),
+                        "permuted": flipped[mirrored].tolist(),
+                    },
+                )
+            )
+    return out
+
+
+@register_invariant("brokered_front_non_domination")
+def _brokered_front_non_domination(ctx: CheckContext) -> list[InvariantViolation]:
+    if ctx.brokered is None:
+        return []
+    brokered = ctx.brokered
+    out: list[InvariantViolation] = []
+    front = np.asarray(brokered.front_objectives, dtype=np.float64)
+    if front.shape[0] >= 2:
+        dom = dominance_matrix(front)
+        if np.any(dom):
+            i, j = np.nonzero(dom)
+            out.append(
+                InvariantViolation(
+                    "brokered_front_non_domination",
+                    f"brokered plan {brokered.front[i[0]].route!r} dominates "
+                    f"{brokered.front[j[0]].route!r} inside the front",
+                    {"pairs": list(zip(i[:8].tolist(), j[:8].tolist()))},
+                )
+            )
+    # Identity, not ==: plans hold numpy arrays, whose dataclass
+    # equality is ambiguous.
+    if not any(plan is brokered.deployed for plan in brokered.front):
+        out.append(
+            InvariantViolation(
+                "brokered_front_non_domination",
+                f"deployed plan {brokered.deployed.route!r} is not a front "
+                "member",
+                {},
+            )
+        )
+    if any(plan.clean for plan in brokered.plans) and not all(
+        plan.clean for plan in brokered.front
+    ):
+        out.append(
+            InvariantViolation(
+                "brokered_front_non_domination",
+                "front contains market-violating plans although clean "
+                "plans exist",
+                {},
+            )
+        )
+    return out
 
 
 # ----------------------------------------------------------------------

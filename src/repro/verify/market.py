@@ -1,0 +1,306 @@
+"""Market-layer conformance verification.
+
+The market layer (:mod:`repro.market`) promises two things at once:
+
+1. **Byte-identity off the market path.**  A single-provider market is
+   *exactly* the pre-market model: wrapping an estate in
+   ``ProviderMarket.from_infrastructure(infra, 1)`` and compiling it
+   must reproduce the original infrastructure's serialized form, its
+   compiled-problem fingerprint, and — differentially — the exact
+   allocation outcome any inner allocator produced before the market
+   layer existed.  Likewise, selection with *no* preference order must
+   be bit-for-bit the paper's ideal-point pick.
+2. **Market semantics on the market path.**  On a multi-provider
+   market, every ``provider:<name>`` plan confines accepted work to
+   that provider's servers, the brokered front is mutually
+   nondominated with the deployed plan a member, per-provider
+   aggregate load closes under provider capacity, and preference
+   selection is deterministic, total over any front, and invariant
+   under front permutation.
+
+``python -m repro verify --check-market`` runs this from the CLI;
+telemetry lands in ``verify.market.*``.  Provider model and preference
+grammar: ``docs/MARKET.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.round_robin import RoundRobinAllocator
+from repro.engine.compiled import CompiledProblem
+from repro.market.broker import BrokeredAllocator
+from repro.market.preferences import parse_preference, select_index
+from repro.market.providers import ProviderMarket
+from repro.model.placement import UNPLACED
+from repro.model.request import Request
+from repro.serialization import infrastructure_to_dict
+from repro.telemetry import get_registry
+from repro.utils.pareto import dominance_matrix
+from repro.workloads.generator import ScenarioGenerator, ScenarioSpec
+
+__all__ = [
+    "MarketMismatch",
+    "MarketConformanceReport",
+    "check_market_conformance",
+]
+
+
+@dataclass(frozen=True)
+class MarketMismatch:
+    """One broken market-layer promise."""
+
+    check: str  #: which conformance check failed
+    case: str  #: which instance / fixture
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.case}: {self.message}"
+
+
+@dataclass
+class MarketConformanceReport:
+    """Outcome of one :func:`check_market_conformance` pass."""
+
+    seed: int
+    cases: tuple[str, ...] = ()
+    comparisons: int = 0
+    mismatches: list[MarketMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every market promise held."""
+        return not self.mismatches
+
+    def format(self) -> str:
+        """Human-readable summary plus each mismatch."""
+        header = (
+            f"market conformance: seed={self.seed} over "
+            f"{len(self.cases)} cases — {self.comparisons} comparisons, "
+            f"{len(self.mismatches)} mismatches"
+        )
+        if self.ok:
+            return (
+                header
+                + "\nsingle-provider path byte-identical; brokered front and "
+                "preference selection conform"
+            )
+        return "\n".join([header, *map(str, self.mismatches)])
+
+
+def _note(
+    report: MarketConformanceReport,
+    ok: bool,
+    check: str,
+    case: str,
+    message: str,
+) -> None:
+    registry = get_registry()
+    report.comparisons += 1
+    registry.count("verify.market.comparisons", check=check)
+    if not ok:
+        registry.count("verify.market.mismatches", check=check)
+        report.mismatches.append(
+            MarketMismatch(check=check, case=case, message=message)
+        )
+
+
+def _scenario(seed: int, servers: int = 12, vms: int = 10):
+    spec = ScenarioSpec(
+        servers=servers,
+        datacenters=3,
+        vms=vms,
+        max_request_size=3,
+        tightness=0.5,
+    )
+    return ScenarioGenerator(spec, seed=seed).generate()
+
+
+# ----------------------------------------------------------------------
+# Check 1: single-provider byte-identity (serialization, fingerprint,
+# differential allocation outcome)
+# ----------------------------------------------------------------------
+def _check_identity(report: MarketConformanceReport, seed: int) -> None:
+    scenario = _scenario(seed)
+    infra = scenario.infrastructure
+    requests = list(scenario.requests)
+    case = f"identity[{seed}]"
+
+    compiled = ProviderMarket.from_infrastructure(infra, 1).compile(at=9.0)
+    _note(
+        report,
+        json.dumps(infrastructure_to_dict(infra), sort_keys=True)
+        == json.dumps(infrastructure_to_dict(compiled.infrastructure), sort_keys=True),
+        "single_provider_serialization",
+        case,
+        "1-provider market compile changed the serialized estate",
+    )
+    merged, _ = Request.concatenate(requests)
+    _note(
+        report,
+        CompiledProblem.fingerprint_of(infra, merged)
+        == CompiledProblem.fingerprint_of(compiled.infrastructure, merged),
+        "single_provider_fingerprint",
+        case,
+        "1-provider market compile changed the problem fingerprint",
+    )
+
+    direct = RoundRobinAllocator().allocate(infra, list(requests))
+    through = RoundRobinAllocator().allocate(
+        compiled.infrastructure, list(requests)
+    )
+    _note(
+        report,
+        np.array_equal(direct.assignment, through.assignment)
+        and np.array_equal(direct.accepted, through.accepted)
+        and direct.objectives.tobytes() == through.objectives.tobytes(),
+        "single_provider_outcome",
+        case,
+        "allocation through the 1-provider market diverged from the "
+        "direct allocation",
+    )
+
+
+# ----------------------------------------------------------------------
+# Check 2: brokered-market semantics on a 3-provider estate
+# ----------------------------------------------------------------------
+def _check_broker(report: MarketConformanceReport, seed: int) -> None:
+    scenario = _scenario(seed + 17)
+    market = ProviderMarket.from_infrastructure(scenario.infrastructure, 3)
+    broker = BrokeredAllocator(market, lambda: RoundRobinAllocator())
+    outcome = broker.allocate(list(scenario.requests), at=6.0)
+    case = f"broker[{seed}]"
+
+    front = outcome.front_objectives
+    _note(
+        report,
+        front.shape[0] < 2 or not np.any(dominance_matrix(front)),
+        "brokered_front_non_domination",
+        case,
+        "brokered front contains a dominated plan",
+    )
+    _note(
+        report,
+        any(plan is outcome.deployed for plan in outcome.front),
+        "deployed_in_front",
+        case,
+        f"deployed plan {outcome.deployed.route!r} is not a front member",
+    )
+
+    infra = outcome.instance.infrastructure
+    provider = infra.provider_of_server
+    merged, owner = Request.concatenate(list(scenario.requests))
+    for k, name in enumerate(market.names):
+        plan = next(
+            p for p in outcome.plans if p.route == f"provider:{name}"
+        )
+        genes = np.where(
+            plan.outcome.accepted[owner], plan.outcome.assignment, UNPLACED
+        )
+        placed = genes[genes != UNPLACED]
+        _note(
+            report,
+            placed.size == 0 or bool(np.all(provider[placed] == k)),
+            "provider_confinement",
+            case,
+            f"route provider:{name} placed accepted work outside "
+            f"provider {k}",
+        )
+
+    repeat = broker.allocate(list(scenario.requests), at=6.0)
+    _note(
+        report,
+        repeat.deployed.route == outcome.deployed.route
+        and repeat.deployed.objectives.tobytes()
+        == outcome.deployed.objectives.tobytes(),
+        "broker_determinism",
+        case,
+        "two identical brokered runs deployed different plans",
+    )
+
+
+# ----------------------------------------------------------------------
+# Check 3: preference-selection consistency on fuzzed fronts
+# ----------------------------------------------------------------------
+def _check_preferences(report: MarketConformanceReport, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    orders = [
+        None,
+        parse_preference("provider_cost>qos>migration"),
+        parse_preference("qos>migration"),
+        parse_preference("migration"),
+    ]
+    for trial in range(6):
+        front = rng.random((int(rng.integers(1, 12)), 3)) * 100.0
+        case = f"front[{trial}] ({front.shape[0]} points)"
+        for preference in orders:
+            label = "ideal-point" if preference is None else preference.spec
+            index = select_index(front, preference)
+            _note(
+                report,
+                0 <= index < front.shape[0],
+                "selection_total",
+                case,
+                f"{label}: index {index} outside the front",
+            )
+            _note(
+                report,
+                index == select_index(front, preference),
+                "selection_deterministic",
+                case,
+                f"{label}: two selections over the same front disagreed",
+            )
+            if preference is None:
+                lo = front.min(axis=0)
+                span = np.where(
+                    front.max(axis=0) - lo > 0, front.max(axis=0) - lo, 1.0
+                )
+                expected = int(
+                    np.argmin(
+                        np.sqrt((((front - lo) / span) ** 2).sum(axis=1))
+                    )
+                )
+                _note(
+                    report,
+                    index == expected,
+                    "selection_ideal_point_identity",
+                    case,
+                    "no-preference selection drifted from the ideal-point "
+                    "pick",
+                )
+            else:
+                permutation = rng.permutation(front.shape[0])
+                mirrored = select_index(front[permutation], preference)
+                _note(
+                    report,
+                    np.array_equal(
+                        front[index], front[permutation][mirrored]
+                    ),
+                    "selection_permutation_invariant",
+                    case,
+                    f"{label}: selected vector changed under permutation",
+                )
+
+
+def check_market_conformance(*, seed: int = 0) -> MarketConformanceReport:
+    """Prove the market layer's byte-identity and brokering promises.
+
+    Runs the single-provider differential, the 3-provider brokered
+    semantics and the preference-selection laws; see the module
+    docstring for the full catalog.
+    """
+    report = MarketConformanceReport(seed=seed)
+    registry = get_registry()
+    registry.count("verify.market.checks")
+    _check_identity(report, seed)
+    _check_broker(report, seed)
+    _check_preferences(report, seed)
+    report.cases = (
+        f"identity[{seed}]",
+        f"broker[{seed}]",
+        "preference fronts x6",
+    )
+    return report

@@ -106,6 +106,14 @@ class TestDocsMatchCli:
             )
         assert self_args.func is not None
 
+    def test_market_docs_are_covered(self):
+        """docs/MARKET.md ships runnable brokering commands; the glob in
+        :func:`_doc_files` must keep picking them up."""
+        market_commands = [c for s, c in _COMMANDS if s == "MARKET.md"]
+        assert len(market_commands) >= 3, market_commands
+        assert any("--providers" in c for c in market_commands)
+        assert any("--prefer" in c for c in market_commands)
+
     def test_guard_catches_invented_flag(self, capsys):
         """Sanity check on the guard itself: a flag that does not exist
         must fail parsing (otherwise this whole test proves nothing)."""
@@ -117,3 +125,44 @@ class TestDocsMatchCli:
         with pytest.raises(SystemExit):
             _parse("python -m repro frobnicate")
         capsys.readouterr()
+
+
+class TestMarketFlags:
+    """The new brokering flags must parse — and reject garbage — exactly
+    as docs/MARKET.md promises."""
+
+    def test_providers_and_prefer_parse(self):
+        args = _parse(
+            "python -m repro compare --providers 3 --prefer 'qos>provider_cost'"
+        )
+        assert args.providers == 3
+        assert args.prefer is not None
+        # Named criteria lead; omitted ones pad the tail as tie-breakers.
+        assert args.prefer.columns == (1, 0, 2)
+
+    def test_scenario_run_accepts_providers(self):
+        args = _parse(
+            "python -m repro scenario run steady_churn --providers 2 --seed 7"
+        )
+        assert args.providers == 2
+
+    def test_prefer_default_is_ideal_point(self):
+        args = _parse("python -m repro compare")
+        assert args.prefer is None
+        assert args.providers == 1
+
+    def test_malformed_prefer_rejected(self, capsys):
+        for spec in ("", "qos>>cost", "qos>karma", "cost>provider_cost"):
+            with pytest.raises(SystemExit):
+                _parse(f"python -m repro compare --prefer {spec!r}")
+            capsys.readouterr()
+
+    def test_nonpositive_providers_rejected(self, capsys):
+        for count in ("0", "-1", "two"):
+            with pytest.raises(SystemExit):
+                _parse(f"python -m repro compare --providers {count}")
+            capsys.readouterr()
+
+    def test_verify_check_market_parses(self):
+        args = _parse("python -m repro verify --check-market")
+        assert args.check_market is True
